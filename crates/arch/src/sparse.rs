@@ -1,0 +1,94 @@
+//! Sparse-accelerator capability description (§4.5).
+//!
+//! Flexible sparse accelerators (the class Sparseloop models) add hardware
+//! and software optimizations on top of the dense substrate: compressed
+//! tensor formats, compute gating (idle the ALU on a zero, saving energy but
+//! not time) and compute skipping (skip the cycle entirely). The sparse cost
+//! model consumes this description; the dense model ignores it.
+
+use serde::{Deserialize, Serialize};
+
+/// Capabilities of a flexible sparse accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparseCaps {
+    /// ALUs skip zero-operand cycles entirely (affects latency and energy).
+    /// Without skipping, only gating applies (energy saved, cycles not).
+    pub skipping: bool,
+    /// Zero-operand MACs are power-gated (energy saved even without
+    /// skipping).
+    pub gating: bool,
+    /// Compressed tensors are stored/moved in a compressed-sparse format;
+    /// footprints and traffic scale with density.
+    pub compressed: bool,
+    /// Metadata overhead of the compressed format, as extra words per
+    /// nonzero (e.g. 0.5 for bitmask-ish, 1.0 for coordinate formats).
+    pub metadata_per_nnz: f64,
+    /// Per-output-element fiber-intersection/scan cost, in cycles, charged
+    /// to *inner-product-style* mappings per reduction tile visited. This is
+    /// the density-independent floor that makes inner product lose at high
+    /// sparsity (§4.5.3).
+    pub intersection_cost: f64,
+    /// Per-partial-product merge premium (multiplier ≥ 1) charged to
+    /// *outer-product-style* mappings: every partial product traverses the
+    /// merge/accumulation network instead of a local register. This is what
+    /// makes outer product lose at low sparsity (§4.5.3).
+    pub merge_overhead: f64,
+}
+
+impl SparseCaps {
+    /// A flexible sparse accelerator with both gating and skipping,
+    /// coordinate-style compression, and SCNN/OuterSPACE-like datapath
+    /// overheads. Used for Tables 2-4.
+    pub fn flexible() -> Self {
+        SparseCaps {
+            skipping: true,
+            gating: true,
+            compressed: true,
+            metadata_per_nnz: 0.5,
+            intersection_cost: 0.3,
+            merge_overhead: 3.0,
+        }
+    }
+
+    /// Gating only (saves energy, not cycles) — a weaker design point used
+    /// in ablations.
+    pub fn gating_only() -> Self {
+        SparseCaps { skipping: false, ..SparseCaps::flexible() }
+    }
+
+    /// No sparse support at all; running a sparse workload on this config
+    /// behaves identically to the dense model.
+    pub fn none() -> Self {
+        SparseCaps {
+            skipping: false,
+            gating: false,
+            compressed: false,
+            metadata_per_nnz: 0.0,
+            intersection_cost: 0.0,
+            merge_overhead: 1.0,
+        }
+    }
+}
+
+impl Default for SparseCaps {
+    fn default() -> Self {
+        SparseCaps::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_capability() {
+        let f = SparseCaps::flexible();
+        assert!(f.skipping && f.gating && f.compressed);
+        let g = SparseCaps::gating_only();
+        assert!(!g.skipping && g.gating);
+        let n = SparseCaps::none();
+        assert!(!n.skipping && !n.gating && !n.compressed);
+        assert_eq!(n.merge_overhead, 1.0);
+        assert_eq!(SparseCaps::default(), n);
+    }
+}

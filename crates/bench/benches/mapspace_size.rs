@@ -1,0 +1,29 @@
+//! §4.2 — size of the map space: ordered tile factorizations × loop-order
+//! permutations × parallelization choices, per Table 1 workload.
+//!
+//! Expected shape: ~O(10^20)–O(10^24) for the CONV2D workloads on a
+//! 3-level hierarchy (the paper quotes O(10^21) / O(10^24)).
+
+use bench::header;
+use mapping::MapSpace;
+
+fn main() {
+    let workloads = [
+        problem::zoo::resnet_conv3(),
+        problem::zoo::resnet_conv4(),
+        problem::zoo::inception_conv2(),
+        problem::zoo::bert_kqv(),
+        problem::zoo::bert_attn(),
+        problem::zoo::bert_fc(),
+    ];
+    for arch in [arch::Arch::accel_a(), arch::Arch::accel_b()] {
+        header(&format!("map-space sizes on {}", arch.name()));
+        println!("{:<22} {:>14}", "workload", "log10(|space|)");
+        for w in &workloads {
+            let s = MapSpace::new(w.clone(), arch.clone());
+            println!("{:<22} {:>14.1}", w.name(), s.size_log10());
+        }
+    }
+    println!();
+    println!("Paper reference: ~O(10^21) for the §4.1 workloads (up to O(10^24)).");
+}

@@ -1,0 +1,55 @@
+//! Criterion microbench: cost-model evaluation throughput. Supports the
+//! Fig. 3 iso-time discussion — the paper's stack evaluates one mapping in
+//! ~1 ms; this analytical engine is orders of magnitude faster, which is
+//! why the harness also reports overhead-charged curves.
+
+use costmodel::{CostModel, DenseModel, SparseModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapping::MapSpace;
+use problem::Density;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_eval(c: &mut Criterion) {
+    let w = problem::zoo::resnet_conv4();
+    let a = arch::Arch::accel_b();
+    let dense = DenseModel::new(w.clone(), a.clone());
+    let sparse = SparseModel::new(
+        w.clone(),
+        a.clone(),
+        arch::SparseCaps::flexible(),
+        Density::weight_sparse(0.1),
+    );
+    let space = MapSpace::new(w, a);
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mappings: Vec<_> = (0..64).map(|_| space.random(&mut rng)).collect();
+
+    let mut i = 0usize;
+    c.bench_function("dense_evaluate_resnet_conv4", |b| {
+        b.iter(|| {
+            i = (i + 1) % mappings.len();
+            std::hint::black_box(dense.evaluate(&mappings[i]).unwrap())
+        })
+    });
+    let mut j = 0usize;
+    c.bench_function("sparse_evaluate_resnet_conv4", |b| {
+        b.iter(|| {
+            j = (j + 1) % mappings.len();
+            std::hint::black_box(sparse.evaluate(&mappings[j]).unwrap())
+        })
+    });
+    let mut k = 0usize;
+    c.bench_function("random_mapping_sample", |b| {
+        b.iter(|| {
+            k += 1;
+            std::hint::black_box(space.random(&mut rng))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_eval
+}
+criterion_main!(benches);

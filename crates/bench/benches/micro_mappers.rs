@@ -1,0 +1,50 @@
+//! Criterion microbench: per-sample cost of each mapper (search-algorithm
+//! overhead on top of the cost model). The paper reports the learned
+//! mappers' per-sample cost at ~10x Random-Pruned's; this measures the
+//! equivalent ratio for our implementations.
+
+use costmodel::DenseModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mappers::{Budget, EdpEvaluator, Gamma, Mapper, RandomMapper, RandomPruned, StandardGa};
+use mapping::MapSpace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_mappers(c: &mut Criterion) {
+    let w = problem::zoo::resnet_conv4();
+    let a = arch::Arch::accel_b();
+    let model = DenseModel::new(w.clone(), a.clone());
+    let space = MapSpace::new(w, a);
+    let samples = 300usize;
+
+    let mut group = c.benchmark_group("mapper_300_samples");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    macro_rules! bench_mapper {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let eval = EdpEvaluator::new(&model);
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    let mapper = $make;
+                    std::hint::black_box(mapper.search(
+                        &space,
+                        &eval,
+                        Budget::samples(samples),
+                        &mut rng,
+                    ))
+                })
+            });
+        };
+    }
+    bench_mapper!("random", RandomMapper::new());
+    bench_mapper!("random_pruned", RandomPruned::new());
+    bench_mapper!("gamma", Gamma::new());
+    bench_mapper!("standard_ga", StandardGa::new());
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

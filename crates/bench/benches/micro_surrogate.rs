@@ -1,0 +1,60 @@
+//! Criterion microbench: surrogate training and inference rates. Backs the
+//! DESIGN.md substitution note — the paper's surrogate needed a GPU and
+//! millions of samples; ours trains in seconds on CPU, which is why the
+//! Mind-Mappings comparison can run inside the bench suite.
+
+use costmodel::DenseModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapping::features::features;
+use mapping::MapSpace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surrogate::{Surrogate, TrainConfig};
+
+fn bench_surrogate(c: &mut Criterion) {
+    let w = problem::zoo::resnet_conv4();
+    let a = arch::Arch::accel_a();
+    let model = DenseModel::new(w.clone(), a.clone());
+
+    let mut group = c.benchmark_group("surrogate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("train_2k_samples_5_epochs", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            let cfg = TrainConfig {
+                samples_per_workload: 2_000,
+                epochs: 5,
+                ..TrainConfig::default()
+            };
+            std::hint::black_box(Surrogate::train(&[&model], &cfg, &mut rng))
+        })
+    });
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let cfg = TrainConfig { samples_per_workload: 1_000, epochs: 5, ..TrainConfig::default() };
+    let (sur, _) = Surrogate::train(&[&model], &cfg, &mut rng);
+    let space = MapSpace::new(w.clone(), a);
+    let feats: Vec<Vec<f64>> = (0..64).map(|_| features(&space.random(&mut rng))).collect();
+
+    let mut i = 0usize;
+    group.bench_function("predict_edp", |b| {
+        b.iter(|| {
+            i = (i + 1) % feats.len();
+            std::hint::black_box(sur.predict_edp_log(&w, &feats[i]))
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function("edp_gradient", |b| {
+        b.iter(|| {
+            j = (j + 1) % feats.len();
+            std::hint::black_box(sur.edp_gradient(&w, &feats[j]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surrogate);
+criterion_main!(benches);

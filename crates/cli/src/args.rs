@@ -1,0 +1,97 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument list (excluding the program name).
+    ///
+    /// Tokens starting with `--` take the following token as their value
+    /// unless it also starts with `--` (then they are boolean flags).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Args {
+        let mut out = Args::default();
+        let mut it = argv.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.options.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            }
+        }
+        out
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric option with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+            None => Ok(default),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("search --samples 500 --warm-start --arch accel-b");
+        assert_eq!(a.command.as_deref(), Some("search"));
+        assert_eq!(a.get("samples"), Some("500"));
+        assert_eq!(a.get_or("arch", "x"), "accel-b");
+        assert!(a.flag("warm-start"));
+        assert!(!a.flag("nope"));
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let a = parse("search --samples abc");
+        assert!(a.get_num::<usize>("samples", 1).is_err());
+        assert_eq!(a.get_num::<usize>("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn trailing_flag_is_boolean() {
+        let a = parse("sweep --warm-start");
+        assert!(a.flag("warm-start"));
+        assert_eq!(a.get("warm-start"), None);
+    }
+}

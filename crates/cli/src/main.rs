@@ -1,0 +1,263 @@
+//! `mapex` — command-line map-space exploration.
+//!
+//! ```sh
+//! mapex search   --problem "CONV2D;c3;B=16,K=128,C=128,Y=28,X=28,R=3,S=3" --arch accel-b --mapper gamma --samples 2000
+//! mapex evaluate --problem "GEMM;g;B=16,M=1024,K=1024,N=512" --arch accel-a --mapping @best.map
+//! mapex sweep    --model vgg16 --arch accel-b --samples 1000 --warm-start --buffer vgg.replay
+//! mapex size     --problem "CONV2D;c4;B=16,K=256,C=256,Y=14,X=14,R=3,S=3" --arch accel-b
+//! mapex zoo
+//! ```
+
+mod args;
+
+use args::Args;
+use costmodel::{CostModel, DenseModel, SparseModel};
+use mappers::{
+    Budget, CrossEntropy, Exhaustive, Gamma, HillClimb, Mapper, RandomMapper, RandomPruned,
+    Reinforce, SimulatedAnnealing, StandardGa,
+};
+use mse::{run_network, InitStrategy, Mse, ReplayBuffer};
+use problem::{Density, Problem};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mapex <command> [options]
+
+commands:
+  search    find an optimized mapping for one workload
+  evaluate  cost one mapping on one workload
+  sweep     map every layer of a zoo model (optionally warm-started)
+  size      report the map-space size
+  zoo       list built-in models and workloads
+
+common options:
+  --problem SPEC         workload spec, e.g. \"CONV2D;c3;B=16,K=128,C=128,Y=28,X=28,R=3,S=3\"
+  --arch NAME            accel-a | accel-b          (default accel-b)
+  --mapper NAME          gamma | random | random-pruned | standard-ga |
+                         annealing | hill-climb | cem | reinforce |
+                         exhaustive                 (default gamma)
+  --samples N            sample budget               (default 2000)
+  --seconds S            wall-clock budget (overrides --samples)
+  --seed N               RNG seed                    (default 0)
+  --weight-density D     sparse weights (enables the sparse model)
+  --input-density D      sparse activations (enables the sparse model)
+  --mapping SPEC|@file   mapping spec (evaluate)
+  --out FILE             write the best mapping spec (search)
+  --model NAME           zoo model (sweep): vgg16 | resnet50 | mobilenet_v2 | mnasnet | bert_large
+  --buffer FILE          replay-buffer file to load/save (sweep)
+  --warm-start           seed each layer from the replay buffer (sweep)
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_deref() {
+        Some("search") => cmd_search(&args),
+        Some("evaluate") => cmd_evaluate(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("size") => cmd_size(&args),
+        Some("zoo") => cmd_zoo(),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_arch(args: &Args) -> Result<arch::Arch, String> {
+    match args.get_or("arch", "accel-b") {
+        "accel-a" => Ok(arch::Arch::accel_a()),
+        "accel-b" => Ok(arch::Arch::accel_b()),
+        other => Err(format!("unknown --arch `{other}` (accel-a | accel-b)")),
+    }
+}
+
+fn parse_problem(args: &Args) -> Result<Problem, String> {
+    let spec = args.get("problem").ok_or("--problem is required")?;
+    problem::codec::from_spec(spec).map_err(|e| e.to_string())
+}
+
+fn parse_density(args: &Args) -> Result<Option<Density>, String> {
+    let dw: f64 = args.get_num("weight-density", 1.0)?;
+    let da: f64 = args.get_num("input-density", 1.0)?;
+    if !(0.0..=1.0).contains(&dw) || !(0.0..=1.0).contains(&da) || dw == 0.0 || da == 0.0 {
+        return Err("densities must be in (0, 1]".into());
+    }
+    if dw == 1.0 && da == 1.0 {
+        Ok(None)
+    } else {
+        Ok(Some(Density { weight: dw, input: da }))
+    }
+}
+
+fn make_model(
+    p: &Problem,
+    a: &arch::Arch,
+    density: Option<Density>,
+) -> Box<dyn CostModel> {
+    match density {
+        Some(d) => {
+            Box::new(SparseModel::new(p.clone(), a.clone(), arch::SparseCaps::flexible(), d))
+        }
+        None => Box::new(DenseModel::new(p.clone(), a.clone())),
+    }
+}
+
+fn make_mapper(name: &str) -> Result<Box<dyn Mapper>, String> {
+    Ok(match name {
+        "gamma" => Box::new(Gamma::new()),
+        "random" => Box::new(RandomMapper::new()),
+        "random-pruned" => Box::new(RandomPruned::new()),
+        "standard-ga" => Box::new(StandardGa::new()),
+        "annealing" => Box::new(SimulatedAnnealing::new()),
+        "hill-climb" => Box::new(HillClimb::new()),
+        "cem" => Box::new(CrossEntropy::new()),
+        "reinforce" => Box::new(Reinforce::new()),
+        "exhaustive" => Box::new(Exhaustive::new()),
+        other => return Err(format!("unknown --mapper `{other}`")),
+    })
+}
+
+fn parse_budget(args: &Args) -> Result<Budget, String> {
+    if let Some(s) = args.get("seconds") {
+        let secs: f64 = s.parse().map_err(|_| "--seconds: bad value".to_string())?;
+        Ok(Budget::seconds(secs))
+    } else {
+        Ok(Budget::samples(args.get_num("samples", 2_000)?))
+    }
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let p = parse_problem(args)?;
+    let a = parse_arch(args)?;
+    let model = make_model(&p, &a, parse_density(args)?);
+    let mapper = make_mapper(args.get_or("mapper", "gamma"))?;
+    let budget = parse_budget(args)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+
+    let mse = Mse::new(model.as_ref());
+    let r = mse.run(mapper.as_ref(), budget, seed);
+    let (best, cost) = r.best.ok_or("search found no legal mapping")?;
+    println!("workload : {p}");
+    println!("arch     : {}", a.name());
+    println!("mapper   : {} ({} samples, {:.3}s)", mapper.name(), r.evaluated, r.elapsed.as_secs_f64());
+    println!("cost     : {cost}");
+    println!("mapping  : {}", mapping::codec::to_spec(&best));
+    print!("{best}");
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, mapping::codec::to_spec(&best)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let p = parse_problem(args)?;
+    let a = parse_arch(args)?;
+    let model = make_model(&p, &a, parse_density(args)?);
+    let spec = args.get("mapping").ok_or("--mapping is required")?;
+    let spec = match spec.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+        None => spec.to_string(),
+    };
+    let m = mapping::codec::from_spec(spec.trim()).map_err(|e| e.to_string())?;
+    let b = model.evaluate_detailed(&m).map_err(|e| format!("illegal mapping: {e}"))?;
+    println!("workload : {p}");
+    println!("cost     : {}", b.cost);
+    println!("lanes    : {}", b.lanes);
+    for (i, t) in b.per_level.iter().enumerate() {
+        println!(
+            "L{i} {:<14} reads {:>12.3e}  writes {:>12.3e}",
+            a.level(i).name,
+            t.reads,
+            t.writes
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let a = parse_arch(args)?;
+    let name = args.get("model").ok_or("--model is required")?;
+    let layers = problem::zoo::model(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+    let budget = parse_budget(args)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+    let strategy = if args.flag("warm-start") {
+        InitStrategy::BySimilarity
+    } else {
+        InitStrategy::Random
+    };
+    let buffer = ReplayBuffer::new();
+    if let Some(path) = args.get("buffer") {
+        if let Ok(f) = std::fs::File::open(path) {
+            let n = buffer.load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
+            println!("loaded {n} replay entries from {path}");
+        }
+    }
+    let arch_for_model = a.clone();
+    let out = run_network(
+        &layers,
+        &a,
+        &buffer,
+        strategy,
+        budget,
+        seed,
+        move |p| Box::new(DenseModel::new(p.clone(), arch_for_model.clone())),
+        || Box::new(Gamma::new()),
+    );
+    println!("{:<24} {:>12} {:>12} {:>10}", "layer", "EDP", "latency", "samples");
+    for o in &out {
+        let cost = o.result.best.as_ref().map(|(_, c)| *c);
+        match cost {
+            Some(c) => println!(
+                "{:<24} {:>12.3e} {:>12.3e} {:>10}",
+                o.name,
+                c.edp(),
+                c.latency_cycles,
+                o.result.evaluated
+            ),
+            None => println!("{:<24} {:>12} {:>12} {:>10}", o.name, "-", "-", o.result.evaluated),
+        }
+    }
+    if let Some(path) = args.get("buffer") {
+        let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        buffer.save(&mut f).map_err(|e| e.to_string())?;
+        println!("saved {} replay entries to {path}", buffer.len());
+    }
+    Ok(())
+}
+
+fn cmd_size(args: &Args) -> Result<(), String> {
+    let p = parse_problem(args)?;
+    let a = parse_arch(args)?;
+    let s = mapping::MapSpace::new(p.clone(), a.clone());
+    println!("{p} on {}: log10(|map space|) = {:.1}", a.name(), s.size_log10());
+    Ok(())
+}
+
+fn cmd_zoo() -> Result<(), String> {
+    println!("models:");
+    for name in ["vgg16", "resnet50", "mobilenet_v2", "mnasnet", "bert_large"] {
+        let layers = problem::zoo::model(name).expect("zoo model");
+        println!("  {name:<14} {} layers", layers.len());
+    }
+    println!();
+    println!("Table 1 workloads (usable as --problem specs):");
+    for p in [
+        problem::zoo::resnet_conv3(),
+        problem::zoo::resnet_conv4(),
+        problem::zoo::inception_conv2(),
+        problem::zoo::bert_kqv(),
+        problem::zoo::bert_attn(),
+        problem::zoo::bert_fc(),
+    ] {
+        println!("  {}", problem::codec::to_spec(&p));
+    }
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! Sparsity-aware MSE (§5.2): search for a single mapping that performs
+//! well across a *range* of activation densities, instead of one mapping
+//! per density.
+//!
+//! During search, each candidate mapping is scored by the weighted sum of
+//! its EDP across a sweep of imposed activation densities, with weights
+//! `1/density` (the paper's heuristic: hardware performance correlates
+//! positively with density, so sparser points are up-weighted to keep them
+//! from being drowned out).
+
+use arch::{Arch, SparseCaps};
+use costmodel::{Cost, CostModel, SparseModel};
+use mappers::Evaluator;
+use problem::{Density, Problem};
+
+/// The paper's default density sweep for search time (Table 4 blue cells):
+/// "we use 5 density levels: 1.0, 0.8, 0.5, 0.2, and 0.1, which are picked
+/// by heuristics".
+pub const DEFAULT_SEARCH_DENSITIES: [f64; 5] = [1.0, 0.8, 0.5, 0.2, 0.1];
+
+/// Density-sweep evaluator implementing the sparsity-aware objective.
+pub struct SparsityAwareEvaluator {
+    models: Vec<(f64, SparseModel)>,
+}
+
+impl SparsityAwareEvaluator {
+    /// Builds the evaluator for activation sparsity over the given density
+    /// levels (use [`DEFAULT_SEARCH_DENSITIES`] to match the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `densities` is empty or contains values outside `(0, 1]`.
+    pub fn new(problem: Problem, arch: Arch, caps: SparseCaps, densities: &[f64]) -> Self {
+        assert!(!densities.is_empty(), "need at least one density level");
+        let models = densities
+            .iter()
+            .map(|&d| {
+                assert!(d > 0.0 && d <= 1.0, "density {d} outside (0, 1]");
+                (d, SparseModel::new(problem.clone(), arch.clone(), caps, Density::input_sparse(d)))
+            })
+            .collect();
+        SparsityAwareEvaluator { models }
+    }
+
+    /// The density levels being swept.
+    pub fn densities(&self) -> Vec<f64> {
+        self.models.iter().map(|(d, _)| *d).collect()
+    }
+}
+
+impl Evaluator for SparsityAwareEvaluator {
+    fn evaluate(&self, m: &mapping::Mapping) -> Option<(Cost, f64)> {
+        let mut score = 0.0;
+        let mut dense_cost: Option<Cost> = None;
+        for (density, model) in &self.models {
+            let cost = model.evaluate(m).ok()?;
+            // Weighted sum: Perf_d / d (§5.2.2).
+            score += cost.edp() / density;
+            if *density == 1.0 || dense_cost.is_none() {
+                dense_cost = Some(cost);
+            }
+        }
+        Some((dense_cost.expect("at least one density"), score))
+    }
+}
+
+/// Evaluator for the "static-density" baselines of Table 4: ordinary EDP
+/// at one fixed assumed density.
+pub struct StaticDensityEvaluator {
+    model: SparseModel,
+}
+
+impl StaticDensityEvaluator {
+    /// Builds the evaluator assuming activations have density `density`.
+    pub fn new(problem: Problem, arch: Arch, caps: SparseCaps, density: f64) -> Self {
+        StaticDensityEvaluator {
+            model: SparseModel::new(problem, arch, caps, Density::input_sparse(density)),
+        }
+    }
+}
+
+impl Evaluator for StaticDensityEvaluator {
+    fn evaluate(&self, m: &mapping::Mapping) -> Option<(Cost, f64)> {
+        let cost = self.model.evaluate(m).ok()?;
+        Some((cost, cost.edp()))
+    }
+}
+
+/// Tests a fixed mapping across a sweep of activation densities, returning
+/// `(density, EDP)` rows — the row structure of Table 4.
+pub fn density_sweep(
+    problem: &Problem,
+    arch: &Arch,
+    caps: SparseCaps,
+    m: &mapping::Mapping,
+    densities: &[f64],
+) -> Vec<(f64, f64)> {
+    densities
+        .iter()
+        .map(|&d| {
+            let model =
+                SparseModel::new(problem.clone(), arch.clone(), caps, Density::input_sparse(d));
+            let edp = model.evaluate(m).map(|c| c.edp()).unwrap_or(f64::INFINITY);
+            (d, edp)
+        })
+        .collect()
+}
+
+/// Tests a fixed mapping across *weight* densities — the cross-testing
+/// protocol of Table 2.
+pub fn weight_density_sweep(
+    problem: &Problem,
+    arch: &Arch,
+    caps: SparseCaps,
+    m: &mapping::Mapping,
+    densities: &[f64],
+) -> Vec<(f64, f64)> {
+    densities
+        .iter()
+        .map(|&d| {
+            let model =
+                SparseModel::new(problem.clone(), arch.clone(), caps, Density::weight_sparse(d));
+            let edp = model.evaluate(m).map(|c| c.edp()).unwrap_or(f64::INFINITY);
+            (d, edp)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Mse;
+    use mappers::{Budget, Gamma};
+    use mapping::MapSpace;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Problem, Arch) {
+        (Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3), Arch::accel_b())
+    }
+
+    #[test]
+    fn sparsity_aware_score_upweights_sparse_levels() {
+        let (p, a) = setup();
+        let eval =
+            SparsityAwareEvaluator::new(p.clone(), a.clone(), SparseCaps::flexible(), &[1.0, 0.1]);
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let m = space.random(&mut rng);
+        let (_, score) = eval.evaluate(&m).unwrap();
+        let e1 = SparseModel::new(p.clone(), a.clone(), SparseCaps::flexible(), Density::input_sparse(1.0))
+            .evaluate(&m)
+            .unwrap()
+            .edp();
+        let e01 = SparseModel::new(p, a, SparseCaps::flexible(), Density::input_sparse(0.1))
+            .evaluate(&m)
+            .unwrap()
+            .edp();
+        assert!((score - (e1 / 1.0 + e01 / 0.1)).abs() / score < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_density() {
+        let (p, a) = setup();
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = space.random(&mut rng);
+        let rows = density_sweep(&p, &a, SparseCaps::flexible(), &m, &[1.0, 0.5, 0.2, 0.1]);
+        for w in rows.windows(2) {
+            assert!(w[0].1 >= w[1].1 * 0.999, "EDP not monotone: {w:?}");
+        }
+    }
+
+    #[test]
+    fn sparsity_aware_search_generalizes_better_than_static_dense() {
+        // The Table 4 headline: across a density sweep, the sparsity-aware
+        // mapping is no worse than ~its static-density rivals at the
+        // densities those were NOT tuned for.
+        let (p, a) = setup();
+        let caps = SparseCaps::flexible();
+        let model_dense =
+            SparseModel::new(p.clone(), a.clone(), caps, Density::input_sparse(1.0));
+        let mse = Mse::new(&model_dense);
+        let budget = Budget::samples(800);
+
+        let aware_eval =
+            SparsityAwareEvaluator::new(p.clone(), a.clone(), caps, &DEFAULT_SEARCH_DENSITIES);
+        let aware =
+            mse.run_with_evaluator(&Gamma::new(), &aware_eval, budget, 3).best.unwrap().0;
+
+        let static_eval = StaticDensityEvaluator::new(p.clone(), a.clone(), caps, 1.0);
+        let static_dense =
+            mse.run_with_evaluator(&Gamma::new(), &static_eval, budget, 3).best.unwrap().0;
+
+        let test_densities = [0.5, 0.2, 0.1, 0.05];
+        let aware_rows = density_sweep(&p, &a, caps, &aware, &test_densities);
+        let static_rows = density_sweep(&p, &a, caps, &static_dense, &test_densities);
+        // Geometric-mean EDP across sparse test densities.
+        let geo = |rows: &[(f64, f64)]| {
+            (rows.iter().map(|(_, e)| e.ln()).sum::<f64>() / rows.len() as f64).exp()
+        };
+        let ga = geo(&aware_rows);
+        let gs = geo(&static_rows);
+        assert!(
+            ga <= gs * 1.15,
+            "sparsity-aware geomean {ga:.3e} clearly worse than static-dense {gs:.3e}"
+        );
+    }
+
+    #[test]
+    fn static_density_mapper_name_passthrough() {
+        let (p, a) = setup();
+        let eval = StaticDensityEvaluator::new(p.clone(), a.clone(), SparseCaps::flexible(), 0.5);
+        let space = MapSpace::new(p, a);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = space.random(&mut rng);
+        assert!(eval.evaluate(&m).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_zero_density() {
+        let (p, a) = setup();
+        SparsityAwareEvaluator::new(p, a, SparseCaps::flexible(), &[0.0]);
+    }
+}

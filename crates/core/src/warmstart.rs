@@ -1,0 +1,330 @@
+//! Warm-start MSE (§5.1): initialize the mapper with the optimized mapping
+//! of the most similar previously seen workload, scaled to the new tensor
+//! shape.
+//!
+//! The replay buffer stores `(workload, optimized mapping)` pairs. For a
+//! new workload, similarity is the *editing distance* between dimension
+//! vectors ([`problem::Problem::edit_distance`]); the chosen mapping's
+//! order and parallelization are inherited and its tile sizes rescaled
+//! ([`mapping::Mapping::scale_to`]).
+
+use arch::Arch;
+use costmodel::CostModel;
+use mappers::{Budget, Mapper, SearchResult};
+use mapping::Mapping;
+use parking_lot::RwLock;
+use problem::Problem;
+
+use crate::driver::{convergence_sample, Mse};
+
+/// How the mapper is initialized for each new workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitStrategy {
+    /// Default random initialization.
+    Random,
+    /// Warm-start from the most recently optimized workload (the paper's
+    /// "warm-start by previous layers", Fig. 9 red bars).
+    PreviousLayer,
+    /// Warm-start from the highest-similarity workload in the replay
+    /// buffer (the paper's full proposal, Fig. 9 yellow bars).
+    BySimilarity,
+}
+
+/// Thread-safe replay buffer of optimized mappings.
+#[derive(Debug, Default)]
+pub struct ReplayBuffer {
+    entries: RwLock<Vec<(Problem, Mapping)>>,
+}
+
+impl ReplayBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ReplayBuffer::default()
+    }
+
+    /// Stores the optimized mapping for a finished workload.
+    pub fn insert(&self, problem: Problem, mapping: Mapping) {
+        self.entries.write().push((problem, mapping));
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// The most recently stored entry.
+    pub fn last(&self) -> Option<(Problem, Mapping)> {
+        self.entries.read().last().cloned()
+    }
+
+    /// The entry with the smallest editing distance to `p` (ties broken
+    /// toward the most recent), with that distance.
+    pub fn most_similar(&self, p: &Problem) -> Option<(Problem, Mapping, usize)> {
+        let entries = self.entries.read();
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, (q, m))| (q.edit_distance(p), std::cmp::Reverse(i), q, m))
+            .min_by_key(|&(d, i, _, _)| (d, i))
+            .map(|(d, _, q, m)| (q.clone(), m.clone(), d))
+    }
+
+    /// Serializes the buffer, one `problem-spec<TAB>mapping-spec` line per
+    /// entry, so a deployment can persist optimized mappings across runs
+    /// (the compile-time MSE use case of §3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for (p, m) in self.entries.read().iter() {
+            writeln!(w, "{}\t{}", problem::codec::to_spec(p), mapping::codec::to_spec(m))?;
+        }
+        Ok(())
+    }
+
+    /// Loads entries previously written by [`ReplayBuffer::save`],
+    /// appending them to this buffer. Malformed lines are skipped; returns
+    /// the number of entries loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `r`.
+    pub fn load<R: std::io::BufRead>(&self, r: R) -> std::io::Result<usize> {
+        let mut n = 0;
+        for line in r.lines() {
+            let line = line?;
+            let Some((pspec, mspec)) = line.split_once('\t') else { continue };
+            let (Ok(p), Ok(m)) =
+                (problem::codec::from_spec(pspec), mapping::codec::from_spec(mspec))
+            else {
+                continue;
+            };
+            self.insert(p, m);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Produces the warm-start seed for `p` under `strategy`: the selected
+    /// stored mapping with inherited order/parallelism and rescaled tiles.
+    /// `None` when the buffer is empty, the strategy is
+    /// [`InitStrategy::Random`], or scaling fails.
+    pub fn seed_for(&self, p: &Problem, arch: &Arch, strategy: InitStrategy) -> Option<Mapping> {
+        let (source_problem, source_mapping) = match strategy {
+            InitStrategy::Random => return None,
+            InitStrategy::PreviousLayer => self.last()?,
+            InitStrategy::BySimilarity => {
+                let (q, m, _) = self.most_similar(p)?;
+                (q, m)
+            }
+        };
+        source_mapping.scale_to(&source_problem, p, arch)
+    }
+}
+
+/// Per-layer outcome of a warm-start network run.
+#[derive(Debug, Clone)]
+pub struct LayerOutcome {
+    /// Workload name.
+    pub name: String,
+    /// EDP of the warm-start (or random) initialization point.
+    pub init_score: f64,
+    /// Full search result.
+    pub result: SearchResult,
+    /// Sample index reaching 99.5% of the improvement (the paper's
+    /// convergence metric, reported as generations in Fig. 11).
+    pub converge_sample: usize,
+}
+
+/// Runs MSE over a sequence of workloads (the layers of one DNN), feeding
+/// each optimized mapping back into `buffer` and seeding each search per
+/// `strategy`. `make_model` binds a cost model per layer; `make_mapper`
+/// builds a fresh mapper per layer (so seeds do not leak across layers).
+pub fn run_network<'m, M, F>(
+    layers: &[Problem],
+    arch: &Arch,
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    mut make_model: M,
+    mut make_mapper: F,
+) -> Vec<LayerOutcome>
+where
+    M: FnMut(&Problem) -> Box<dyn CostModel + 'm>,
+    F: FnMut() -> Box<dyn Mapper>,
+{
+    let mut out = Vec::with_capacity(layers.len());
+    for (i, layer) in layers.iter().enumerate() {
+        let model = make_model(layer);
+        let mse = Mse::new(model.as_ref());
+        let mut mapper = make_mapper();
+        let warm = buffer.seed_for(layer, arch, strategy);
+        let init_score = match &warm {
+            Some(m) => model.evaluate(m).map(|c| c.edp()).unwrap_or(f64::INFINITY),
+            None => {
+                // Reference random-init quality: the first legal random
+                // draw, matching how Fig. 9's blue bars are measured.
+                let space = mse.space();
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ (i as u64) << 32);
+                model
+                    .evaluate(&space.random(&mut rng))
+                    .map(|c| c.edp())
+                    .unwrap_or(f64::INFINITY)
+            }
+        };
+        if let Some(m) = warm {
+            mapper.set_seeds(vec![m]);
+        }
+        let result = mse.run(mapper.as_ref(), budget, seed.wrapping_add(i as u64));
+        if let Some((best, _)) = &result.best {
+            buffer.insert(layer.clone(), best.clone());
+        }
+        let converge_sample = convergence_sample(&result, 0.995);
+        out.push(LayerOutcome {
+            name: layer.name().to_string(),
+            init_score,
+            result,
+            converge_sample,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costmodel::DenseModel;
+    use mappers::Gamma;
+
+    #[test]
+    fn most_similar_prefers_smaller_distance() {
+        let buf = ReplayBuffer::new();
+        let a = Problem::conv2d("a", 16, 128, 128, 28, 28, 3, 3);
+        let b = Problem::conv2d("b", 16, 256, 256, 14, 14, 3, 3);
+        let arch = Arch::accel_b();
+        buf.insert(a.clone(), Mapping::trivial(&a, &arch));
+        buf.insert(b.clone(), Mapping::trivial(&b, &arch));
+        // Query closest to `a` (only K differs).
+        let q = Problem::conv2d("q", 16, 64, 128, 28, 28, 3, 3);
+        let (found, _, d) = buf.most_similar(&q).unwrap();
+        assert_eq!(found.name(), "a");
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn ties_break_toward_most_recent() {
+        let buf = ReplayBuffer::new();
+        let arch = Arch::accel_b();
+        let a = Problem::conv2d("first", 16, 128, 128, 28, 28, 3, 3);
+        let b = Problem::conv2d("second", 16, 128, 128, 28, 28, 3, 3);
+        buf.insert(a.clone(), Mapping::trivial(&a, &arch));
+        buf.insert(b.clone(), Mapping::trivial(&b, &arch));
+        let (found, _, d) = buf.most_similar(&a).unwrap();
+        assert_eq!(d, 0);
+        assert_eq!(found.name(), "second");
+    }
+
+    #[test]
+    fn seed_for_respects_strategy() {
+        let buf = ReplayBuffer::new();
+        let arch = Arch::accel_b();
+        let p = Problem::conv2d("p", 4, 16, 16, 14, 14, 3, 3);
+        assert!(buf.seed_for(&p, &arch, InitStrategy::BySimilarity).is_none());
+        buf.insert(p.clone(), Mapping::trivial(&p, &arch));
+        assert!(buf.seed_for(&p, &arch, InitStrategy::Random).is_none());
+        let s = buf.seed_for(&p, &arch, InitStrategy::PreviousLayer).unwrap();
+        assert!(s.is_legal(&p, &arch));
+        let s = buf.seed_for(&p, &arch, InitStrategy::BySimilarity).unwrap();
+        assert!(s.is_legal(&p, &arch));
+    }
+
+    #[test]
+    fn warm_start_improves_init_on_regular_network() {
+        // Two near-identical layers: the second layer's warm-start init
+        // must be better than its random init (Fig. 9's message).
+        let arch = Arch::accel_b();
+        let layers = vec![
+            Problem::conv2d("l1", 4, 32, 16, 14, 14, 3, 3),
+            Problem::conv2d("l2", 4, 32, 32, 14, 14, 3, 3),
+        ];
+        let run = |strategy| {
+            let buf = ReplayBuffer::new();
+            run_network(
+                &layers,
+                &arch,
+                &buf,
+                strategy,
+                Budget::samples(400),
+                7,
+                |p| Box::new(DenseModel::new(p.clone(), Arch::accel_b())),
+                || Box::new(Gamma::new()),
+            )
+        };
+        let warm = run(InitStrategy::BySimilarity);
+        let cold = run(InitStrategy::Random);
+        assert!(
+            warm[1].init_score < cold[1].init_score,
+            "warm init {:.3e} not better than random init {:.3e}",
+            warm[1].init_score,
+            cold[1].init_score
+        );
+        // Final quality comparable (within 2x), per Fig. 11(a).
+        let ratio = warm[1].result.best_score / cold[1].result.best_score;
+        assert!(ratio < 2.0, "warm-start degraded final quality by {ratio:.2}x");
+    }
+
+    #[test]
+    fn buffer_save_load_round_trips() {
+        let arch = Arch::accel_b();
+        let buf = ReplayBuffer::new();
+        let p1 = Problem::conv2d("a", 4, 16, 16, 14, 14, 3, 3);
+        let p2 = Problem::gemm("b", 2, 8, 8, 8);
+        buf.insert(p1.clone(), Mapping::trivial(&p1, &arch));
+        buf.insert(p2.clone(), Mapping::trivial(&p2, &arch));
+        let mut bytes = Vec::new();
+        buf.save(&mut bytes).unwrap();
+        let restored = ReplayBuffer::new();
+        let n = restored.load(std::io::BufReader::new(&bytes[..])).unwrap();
+        assert_eq!(n, 2);
+        let (found, m, d) = restored.most_similar(&p2).unwrap();
+        assert_eq!(d, 0);
+        assert_eq!(found.name(), "b");
+        assert!(m.is_legal(&p2, &arch));
+        // Malformed lines are skipped, not fatal.
+        let garbage = b"not a line\nCONV2D;x;B=1\tbroken\n".to_vec();
+        let n = restored.load(std::io::BufReader::new(&garbage[..])).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn buffer_grows_during_network_run() {
+        let arch = Arch::accel_b();
+        let layers = vec![
+            Problem::conv2d("l1", 2, 8, 8, 7, 7, 3, 3),
+            Problem::conv2d("l2", 2, 16, 8, 7, 7, 3, 3),
+            Problem::conv2d("l3", 2, 16, 16, 7, 7, 3, 3),
+        ];
+        let buf = ReplayBuffer::new();
+        let out = run_network(
+            &layers,
+            &arch,
+            &buf,
+            InitStrategy::BySimilarity,
+            Budget::samples(150),
+            0,
+            |p| Box::new(DenseModel::new(p.clone(), Arch::accel_b())),
+            || Box::new(Gamma::new()),
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(buf.len(), 3);
+        assert!(out.iter().all(|o| o.converge_sample <= o.result.evaluated));
+    }
+}

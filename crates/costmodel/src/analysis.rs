@@ -1,0 +1,565 @@
+//! The analytical traffic/latency/energy engine shared by the dense and
+//! sparse cost models.
+//!
+//! Like Timeloop, the engine derives, for every tensor and every storage
+//! level, (a) the resident tile footprint and (b) the number of times that
+//! tile's contents change as the loops outside it iterate, honoring
+//! temporal reuse (stationarity) granted by the loop order and spatial
+//! reuse (multicast) granted by parallelization. Traffic × per-level access
+//! energies gives energy; a compute/bandwidth roofline gives latency.
+
+use crate::cost::Cost;
+use crate::style::{classify, ProductStyle};
+use arch::{Arch, SparseCaps};
+use mapping::{Loop, Mapping, MappingError};
+use problem::{Density, Problem, TensorKind};
+use serde::{Deserialize, Serialize};
+
+/// Traffic observed at one storage level (words accessed at that level's
+/// port, summed over all instances).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelTraffic {
+    /// Words read out of this level (supplies to children, partial-sum
+    /// re-reads, drain reads).
+    pub reads: f64,
+    /// Words written into this level (fills from the parent, partial-sum
+    /// writebacks from children).
+    pub writes: f64,
+}
+
+impl LevelTraffic {
+    /// Total words accessed.
+    pub fn total(&self) -> f64 {
+        self.reads + self.writes
+    }
+}
+
+/// Full evaluation breakdown; [`Cost`] is derived from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Per-storage-level traffic, outermost (DRAM) first.
+    pub per_level: Vec<LevelTraffic>,
+    /// Dense MAC count.
+    pub macs: f64,
+    /// MACs actually consuming a cycle (post-skipping).
+    pub cycle_macs: f64,
+    /// MACs actually consuming energy (post-gating/skipping).
+    pub energy_macs: f64,
+    /// Extra datapath work cycles charged by the sparse style model
+    /// (fiber intersection for inner product, merge for outer product).
+    pub style_work: f64,
+    /// Detected product style (only meaningful for sparse evaluations).
+    pub style: ProductStyle,
+    /// Spatial lanes used by the mapping.
+    pub lanes: f64,
+    /// Compute-bound cycles.
+    pub compute_cycles: f64,
+    /// Per-level bandwidth-bound cycles.
+    pub bw_cycles: Vec<f64>,
+    /// Capacity spill factor per level (1.0 = tile fits; >1.0 = the level
+    /// overflows by that factor and its boundary traffic is inflated
+    /// accordingly; soft-capacity sparse evaluations only).
+    pub spill: Vec<f64>,
+    /// Final cost.
+    pub cost: Cost,
+}
+
+impl Breakdown {
+    /// Per-level energy in pJ (traffic × per-access energy), outermost
+    /// first. MAC and sparse-style energy are not included (they are
+    /// datapath, not storage).
+    pub fn energy_by_level(&self, arch: &Arch) -> Vec<f64> {
+        self.per_level
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.total() * arch.level(i).energy_per_access)
+            .collect()
+    }
+
+    /// Fraction of the chip's multiply lanes the mapping uses.
+    pub fn utilization(&self, arch: &Arch) -> f64 {
+        self.lanes / arch.total_spatial_lanes() as f64
+    }
+
+    /// Whether latency is bound by compute (true) or by some level's
+    /// bandwidth (false).
+    pub fn compute_bound(&self) -> bool {
+        self.compute_cycles >= self.bw_cycles.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// How buffer-capacity violations are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityMode {
+    /// Violations are errors (the dense engine; mappings must be legal).
+    Strict,
+    /// Violations inflate boundary traffic by the overflow factor (the
+    /// sparse engine's cross-density testing, where a mapping tuned for a
+    /// sparser tensor may overflow when run denser — Table 2).
+    Soft,
+}
+
+/// Per-tensor refetch multiplicities at one level.
+#[derive(Debug, Clone, Copy)]
+struct Mult {
+    /// Multicast-collapsed multiplicity: parent-port transfers.
+    read: f64,
+    /// Per-instance multiplicity: child fill writes.
+    write: f64,
+    /// Number of distinct tiles (relevant loops only).
+    distinct: f64,
+}
+
+/// Scans the loops strictly outside `level` (i.e. `Loop::level < level`),
+/// innermost first, and derives the refetch multiplicities of a tensor
+/// whose relevance predicate is `relevant`.
+///
+/// Temporal loops over irrelevant dimensions that are innermost-consecutive
+/// grant stationarity (the resident tile is reused); once any relevant
+/// temporal loop is crossed, every loop outside it — relevant or not —
+/// multiplies the refetch count, because intervening relevant iterations
+/// evict the tile. Spatial loops never evict: relevant ones partition data
+/// (count everywhere), irrelevant ones multicast (count only on the
+/// receiving side).
+fn multiplicities(nest: &[Loop], level: usize, relevant: impl Fn(usize) -> bool) -> Mult {
+    let mut started = false;
+    let mut read = 1.0f64;
+    let mut write = 1.0f64;
+    let mut distinct = 1.0f64;
+    // Unit-bound loops never iterate: they are transparent to reuse (this
+    // is also what makes Random-Pruned's unit-loop order canonicalization a
+    // lossless pruning).
+    for l in nest.iter().rev().filter(|l| l.level < level && l.bound > 1) {
+        let b = l.bound as f64;
+        if l.spatial {
+            if relevant(l.dim) {
+                read *= b;
+                write *= b;
+                distinct *= b;
+            } else {
+                write *= b;
+            }
+        } else if relevant(l.dim) {
+            started = true;
+            read *= b;
+            write *= b;
+            distinct *= b;
+        } else if started {
+            read *= b;
+            write *= b;
+        }
+    }
+    Mult { read, write, distinct }
+}
+
+/// Evaluates `m` for `problem` on `arch` with the given workload densities
+/// and sparse capabilities. The dense model is the special case
+/// `Density::DENSE` + [`SparseCaps::none`] + [`CapacityMode::Strict`].
+///
+/// # Errors
+///
+/// Returns a structural [`MappingError`] for illegal mappings, or
+/// [`MappingError::CapacityExceeded`] under [`CapacityMode::Strict`].
+pub fn analyze(
+    problem: &Problem,
+    arch: &Arch,
+    m: &Mapping,
+    density: Density,
+    caps: &SparseCaps,
+    capacity: CapacityMode,
+) -> Result<Breakdown, MappingError> {
+    m.validate_structure(problem, arch)?;
+
+    let nl = arch.num_levels();
+    let tensors = problem.tensors();
+    let macs = problem.total_macs() as f64;
+    let occupancy = density.weight * density.input;
+
+    // A tensor is stored compressed only when the compressed form
+    // (nnz + metadata) is smaller than the dense form.
+    let compress = |d: f64| -> f64 {
+        if caps.compressed {
+            (d * (1.0 + caps.metadata_per_nnz)).min(1.0)
+        } else {
+            1.0
+        }
+    };
+    // Density of a *partially accumulated* output tile at a level is
+    // governed by the reduction volume already folded inside that tile:
+    // per-MAC partial updates (the register boundary) are `occupancy`
+    // dense, while a fully reduced DRAM output is `1-(1-occ)^R` dense.
+    let reduction_dims = problem.reduction_dims();
+    let out_density_at = |ext: &[u64]| -> f64 {
+        let red_inside: f64 = reduction_dims.iter().map(|&d| ext[d] as f64).product();
+        (1.0 - (1.0 - occupancy).powf(red_inside)).clamp(occupancy.min(1.0), 1.0)
+    };
+
+    // Per-tensor traffic/footprint scale from compression (outputs get
+    // their per-level scale in the boundary loop below).
+    let scale: Vec<f64> = tensors
+        .iter()
+        .map(|t| match t.kind {
+            TensorKind::Output => 1.0,
+            k => compress(density.of(k)),
+        })
+        .collect();
+
+    // Capacity: spill factor per level.
+    let mut spill = vec![1.0f64; nl];
+    for li in 0..nl {
+        if let Some(cap) = arch.level(li).capacity_words {
+            let ext = m.tile_extents(li);
+            let needed: f64 = tensors
+                .iter()
+                .zip(&scale)
+                .map(|(t, s)| {
+                    // Capacity must be provisioned for the *worst case* of
+                    // any density that is dynamic at runtime: activations
+                    // (and therefore partial outputs) vary per input, so
+                    // their tiles are allocated at dense size. Weight
+                    // sparsity is static (fixed when the model is pruned),
+                    // so weight tiles may be provisioned compressed.
+                    let s = match t.kind {
+                        TensorKind::Weight => *s,
+                        TensorKind::Input | TensorKind::Output => 1.0,
+                    };
+                    t.projection.footprint_f64(&ext) * s
+                })
+                .sum();
+            if needed > cap as f64 {
+                if capacity == CapacityMode::Strict {
+                    return Err(MappingError::CapacityExceeded {
+                        level: li,
+                        needed_words: needed,
+                        capacity_words: cap,
+                    });
+                }
+                spill[li] = needed / cap as f64;
+            }
+        }
+    }
+
+    let nest = m.nest();
+    let mut per_level = vec![LevelTraffic::default(); nl];
+    let unit_tile = vec![1u64; problem.num_dims()];
+
+    // Boundaries: (parent = i-1, child = i) for i in 1..=nl, where i == nl
+    // is the virtual per-ALU register level (unit tiles) that models MAC
+    // operand fetch and accumulator drain.
+    for i in 1..=nl {
+        let ext = if i < nl { m.tile_extents(i) } else { unit_tile.clone() };
+        // Spill at the child inflates its boundary with the parent.
+        let sp = if i < nl { spill[i] } else { 1.0 };
+        for (t, &sc) in tensors.iter().zip(&scale) {
+            let f = t.projection.footprint_f64(&ext);
+            let mult = multiplicities(&nest, i, |d| t.projection.depends_on(d));
+            let sc = if t.kind == TensorKind::Output {
+                // Per-level partial-output density (per-MAC updates at the
+                // register boundary, fully reduced tiles further out).
+                compress(out_density_at(&ext))
+            } else if i == nl && caps.skipping {
+                // At the MAC boundary, skipping hardware only fetches
+                // operands for surviving (all-nonzero) MACs, regardless of
+                // which operand carries the zeros.
+                occupancy.min(sc)
+            } else {
+                sc
+            };
+            match t.kind {
+                TensorKind::Input | TensorKind::Weight => {
+                    per_level[i - 1].reads += mult.read * f * sc * sp;
+                    if i < nl {
+                        per_level[i].writes += mult.write * f * sc * sp;
+                    }
+                }
+                TensorKind::Output => {
+                    // Drains: every recycle of the child tile writes its
+                    // contents up (spatial reduction collapses multicast).
+                    let drains = mult.read * f * sc * sp;
+                    per_level[i - 1].writes += drains;
+                    if i < nl {
+                        per_level[i].reads += drains;
+                    }
+                    // Accumulation refills: revisited tiles re-read their
+                    // partials from the parent (first pass initializes).
+                    let refills = (mult.read - mult.distinct).max(0.0) * f * sc * sp;
+                    per_level[i - 1].reads += refills;
+                    if i < nl {
+                        per_level[i].writes += refills;
+                    }
+                }
+            }
+        }
+    }
+
+    // Datapath: skipping removes zero cycles; gating removes zero energy.
+    let cycle_macs = if caps.skipping { macs * occupancy } else { macs };
+    let energy_macs = if caps.skipping || caps.gating { macs * occupancy } else { macs };
+
+    // Sparse dataflow-style overhead (§4.5.3); zero for dense caps.
+    let style = classify(problem, m);
+    let style_work = match style {
+        ProductStyle::Inner => {
+            caps.intersection_cost * macs * density.weight.max(density.input)
+        }
+        ProductStyle::Outer => (caps.merge_overhead - 1.0).max(0.0) * macs * occupancy,
+    };
+
+    let lanes = m.used_lanes() as f64;
+    let compute_cycles = (cycle_macs + style_work) / lanes;
+
+    let innermost_energy = arch.level(nl - 1).energy_per_access;
+    let mut energy_pj = style_work * innermost_energy + energy_macs * arch.mac_energy;
+    for (li, t) in per_level.iter().enumerate() {
+        energy_pj += t.total() * arch.level(li).energy_per_access;
+    }
+
+    let mut bw_cycles = Vec::with_capacity(nl);
+    let mut active = 1.0f64;
+    for (li, t) in per_level.iter().enumerate() {
+        bw_cycles.push(t.total() / (arch.level(li).bandwidth * active));
+        active *= m.levels()[li].spatial_product() as f64;
+    }
+
+    let latency = compute_cycles.max(bw_cycles.iter().copied().fold(0.0, f64::max)).max(1.0);
+    let cost = Cost::new(latency, energy_pj * 1e-6);
+
+    Ok(Breakdown {
+        per_level,
+        macs,
+        cycle_macs,
+        energy_macs,
+        style_work,
+        style,
+        lanes,
+        compute_cycles,
+        bw_cycles,
+        spill,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapping::MapSpace;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dense(problem: &Problem, arch: &Arch, m: &Mapping) -> Breakdown {
+        analyze(problem, arch, m, Density::DENSE, &SparseCaps::none(), CapacityMode::Strict)
+            .expect("legal mapping")
+    }
+
+    fn small_setup() -> (Problem, Arch) {
+        (Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3), Arch::accel_b())
+    }
+
+    #[test]
+    fn trivial_mapping_dram_reads_match_hand_count() {
+        // All loops at DRAM, unit tiles inside: every MAC re-fetches its
+        // operands from DRAM (no reuse anywhere below), so DRAM reads for
+        // each input operand equal... the stationarity granted by the DRAM
+        // loop order (innermost X, S irrelevant to weights etc.).
+        let (p, a) = small_setup();
+        let m = Mapping::trivial(&p, &a);
+        let b = dense(&p, &a, &m);
+        let macs = p.total_macs() as f64;
+        // Weights: order is (B,K,C,Y,X,R,S); innermost loop S is
+        // weight-relevant => no stationarity => weight fetches = macs.
+        // Inputs: innermost S,R are input-relevant (window) => macs.
+        // Outputs: innermost S,R irrelevant (register accumulation), so
+        // drains (DRAM writes) = B*K*C*Y*X = macs / 9, and accumulation
+        // refills (DRAM reads) = drains - distinct outputs (first pass of
+        // the C loop needs no read).
+        let drains = macs / 9.0;
+        let distinct_outputs = (2 * 8 * 7 * 7) as f64;
+        let refills = drains - distinct_outputs;
+        let expected_reads = macs + macs + refills;
+        let expected_writes = drains;
+        assert!((b.per_level[0].reads - expected_reads).abs() / expected_reads < 1e-9);
+        assert!((b.per_level[0].writes - expected_writes).abs() / expected_writes < 1e-9);
+    }
+
+    #[test]
+    fn output_stationary_order_cuts_output_traffic() {
+        let (p, a) = small_setup();
+        let mut m = Mapping::trivial(&p, &a);
+        // (C,R,S) innermost at DRAM: full register accumulation per output.
+        m.levels_mut()[0].order = vec![0, 1, 3, 4, 2, 5, 6];
+        let b = dense(&p, &a, &m);
+        let outputs = (2 * 8 * 7 * 7) as f64;
+        assert!((b.per_level[0].writes - outputs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_stationary_order_cuts_weight_traffic() {
+        let (p, a) = small_setup();
+        let mut m = Mapping::trivial(&p, &a);
+        // Weight-irrelevant dims (B,Y,X) innermost: weights stationary in
+        // the register across them.
+        m.levels_mut()[0].order = vec![1, 2, 5, 6, 0, 3, 4];
+        let b0 = dense(&p, &a, &Mapping::trivial(&p, &a));
+        let b1 = dense(&p, &a, &m);
+        assert!(b1.per_level[0].reads < b0.per_level[0].reads);
+    }
+
+    #[test]
+    fn buffering_at_l2_reduces_dram_traffic() {
+        let (p, a) = small_setup();
+        let trivial = Mapping::trivial(&p, &a);
+        let mut tiled = Mapping::trivial(&p, &a);
+        // Move the filter loops and C inside the global buffer.
+        for dim in [2usize, 5, 6] {
+            tiled.levels_mut()[1].temporal[dim] = p.bound(dim);
+            tiled.levels_mut()[0].temporal[dim] = 1;
+        }
+        tiled.validate(&p, &a).unwrap();
+        let b0 = dense(&p, &a, &trivial);
+        let b1 = dense(&p, &a, &tiled);
+        assert!(b1.per_level[0].total() < b0.per_level[0].total());
+    }
+
+    #[test]
+    fn parallelism_reduces_latency() {
+        let (p, a) = small_setup();
+        let serial = Mapping::trivial(&p, &a);
+        let mut par = Mapping::trivial(&p, &a);
+        par.levels_mut()[0].temporal[1] = 1;
+        par.levels_mut()[1].spatial[1] = 8; // K across PEs
+        par.validate(&p, &a).unwrap();
+        let b0 = dense(&p, &a, &serial);
+        let b1 = dense(&p, &a, &par);
+        assert!(b1.cost.latency_cycles < b0.cost.latency_cycles);
+        assert_eq!(b1.lanes, 8.0);
+    }
+
+    #[test]
+    fn multicast_saves_parent_reads() {
+        // Parallelize K across PEs: inputs are K-irrelevant => multicast.
+        let (p, a) = small_setup();
+        let mut par = Mapping::trivial(&p, &a);
+        par.levels_mut()[0].temporal[1] = 1;
+        par.levels_mut()[1].spatial[1] = 8;
+        par.validate(&p, &a).unwrap();
+        let b = dense(&p, &a, &par);
+        // Inputs are K-irrelevant: each global-buffer read is multicast to
+        // the 8 PEs, so per-PE fill writes (level 2) strictly exceed
+        // parent-port supply reads (level 1); weights are partitioned
+        // (equal on both sides) and output drains are reduced in the NoC.
+        assert!(b.per_level[2].writes > b.per_level[1].reads);
+    }
+
+    #[test]
+    fn energy_breakdown_is_positive_and_finite() {
+        let (p, a) = small_setup();
+        let s = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let m = s.random(&mut rng);
+            let b = dense(&p, &a, &m);
+            assert!(b.cost.energy_uj > 0.0 && b.cost.energy_uj.is_finite());
+            assert!(b.cost.latency_cycles >= 1.0 && b.cost.latency_cycles.is_finite());
+            for t in &b.per_level {
+                assert!(t.reads >= 0.0 && t.writes >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn compute_floor_is_macs_over_lanes() {
+        let (p, a) = small_setup();
+        let m = Mapping::trivial(&p, &a);
+        let b = dense(&p, &a, &m);
+        assert!(b.cost.latency_cycles >= p.total_macs() as f64 / 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn strict_capacity_rejects_oversized_tiles() {
+        let (p, a) = small_setup();
+        let mut m = Mapping::trivial(&p, &a);
+        for dim in 0..7 {
+            m.levels_mut()[2].temporal[dim] = p.bound(dim);
+            m.levels_mut()[0].temporal[dim] = 1;
+        }
+        let err = analyze(&p, &a, &m, Density::DENSE, &SparseCaps::none(), CapacityMode::Strict);
+        assert!(matches!(err, Err(MappingError::CapacityExceeded { .. })));
+        // Soft mode evaluates with a spill penalty instead.
+        let soft =
+            analyze(&p, &a, &m, Density::DENSE, &SparseCaps::none(), CapacityMode::Soft).unwrap();
+        assert!(soft.spill[2] > 1.0);
+    }
+
+    #[test]
+    fn gemm_hand_counts_output_stationary() {
+        // GEMM (B=1, M=4, K=8, N=2), everything temporal at DRAM with K
+        // innermost: per-output register accumulation.
+        let p = Problem::gemm("g", 1, 4, 8, 2);
+        let a = Arch::accel_b();
+        let mut m = Mapping::trivial(&p, &a);
+        m.levels_mut()[0].order = vec![0, 1, 3, 2]; // B, M, N, K (K innermost)
+        let b = dense(&p, &a, &m);
+        let macs = (4 * 8 * 2) as f64;
+        // Outputs: K innermost is register-accumulated => one write per
+        // output element, no accumulation reads.
+        assert_eq!(b.per_level[0].writes, 4.0 * 2.0);
+        // A[b,m,k]: innermost K relevant => refetched per MAC. W[k,n]:
+        // innermost K relevant => refetched per MAC. Total DRAM reads:
+        assert_eq!(b.per_level[0].reads, macs + macs);
+    }
+
+    #[test]
+    fn gemm_hand_counts_weight_stationary() {
+        // Same GEMM, order (K, N, B, M): W[k,n] stationary across B,M.
+        let p = Problem::gemm("g", 1, 4, 8, 2);
+        let a = Arch::accel_b();
+        let mut m = Mapping::trivial(&p, &a);
+        m.levels_mut()[0].order = vec![2, 3, 0, 1];
+        let b = dense(&p, &a, &m);
+        let macs = (4 * 8 * 2) as f64;
+        // W reads: innermost loops (B, M) are W-irrelevant => one read per
+        // (k, n) pair = 16.
+        // A reads: innermost M relevant => macs.
+        // Output: innermost M relevant (no register reuse) => drains = macs
+        // with accumulation refills = macs - distinct(8).
+        let w_reads = 16.0;
+        let a_reads = macs;
+        let out_refills = macs - 8.0;
+        assert_eq!(b.per_level[0].reads, w_reads + a_reads + out_refills);
+        assert_eq!(b.per_level[0].writes, macs);
+    }
+
+    #[test]
+    fn breakdown_helpers_are_consistent() {
+        let (p, a) = small_setup();
+        let m = Mapping::trivial(&p, &a);
+        let b = dense(&p, &a, &m);
+        let by_level = b.energy_by_level(&a);
+        assert_eq!(by_level.len(), 3);
+        let storage: f64 = by_level.iter().sum();
+        let total_pj = b.cost.energy_uj * 1e6;
+        assert!(storage < total_pj);
+        assert!((total_pj - storage - b.macs * a.mac_energy).abs() / total_pj < 1e-9);
+        assert_eq!(b.utilization(&a), 1.0 / 1024.0);
+        // compute_bound agrees with which term set the latency.
+        let bw_max = b.bw_cycles.iter().copied().fold(0.0, f64::max);
+        assert_eq!(b.compute_bound(), b.compute_cycles >= bw_max);
+        assert!((b.cost.latency_cycles - b.compute_cycles.max(bw_max)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_reads_at_least_cover_each_operand_once() {
+        let (p, a) = small_setup();
+        let s = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let input_size = (2 * 8 * 9 * 9) as f64;
+        let weight_size = (8 * 8 * 3 * 3) as f64;
+        let out_size = (2 * 8 * 7 * 7) as f64;
+        for _ in 0..50 {
+            let m = s.random(&mut rng);
+            let b = dense(&p, &a, &m);
+            assert!(b.per_level[0].reads >= input_size + weight_size - 1e-6);
+            assert!(b.per_level[0].writes >= out_size - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Cost figures of merit: latency, energy, and EDP (the paper's criterion).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The cost of executing one workload under one mapping.
+///
+/// Units follow the paper: latency in cycles, energy in µJ, so
+/// [`Cost::edp`] is in `cycles·µJ` — directly comparable to the paper's
+/// tables (e.g. Table 2's `3.1E+10 cycles uJ` entries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cost {
+    /// Execution latency in cycles.
+    pub latency_cycles: f64,
+    /// Total energy in microjoules.
+    pub energy_uj: f64,
+}
+
+impl Cost {
+    /// Creates a cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) on non-finite or negative components.
+    pub fn new(latency_cycles: f64, energy_uj: f64) -> Self {
+        debug_assert!(latency_cycles.is_finite() && latency_cycles >= 0.0);
+        debug_assert!(energy_uj.is_finite() && energy_uj >= 0.0);
+        Cost { latency_cycles, energy_uj }
+    }
+
+    /// Energy-delay product in `cycles·µJ`.
+    pub fn edp(&self) -> f64 {
+        self.latency_cycles * self.energy_uj
+    }
+
+    /// Pareto dominance on the (latency, energy) objectives: `self`
+    /// dominates `other` if it is no worse on both axes and strictly better
+    /// on at least one.
+    pub fn dominates(&self, other: &Cost) -> bool {
+        self.latency_cycles <= other.latency_cycles
+            && self.energy_uj <= other.energy_uj
+            && (self.latency_cycles < other.latency_cycles || self.energy_uj < other.energy_uj)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "latency={:.3e} cyc, energy={:.3e} uJ, EDP={:.3e} cyc*uJ",
+            self.latency_cycles,
+            self.energy_uj,
+            self.edp()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_is_product() {
+        let c = Cost::new(2.0e6, 3.0e3);
+        assert_eq!(c.edp(), 6.0e9);
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = Cost::new(1.0, 1.0);
+        let b = Cost::new(1.0, 2.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a));
+        let c = Cost::new(0.5, 2.0);
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+    }
+
+    #[test]
+    fn display_contains_edp() {
+        assert!(Cost::new(1e3, 1e2).to_string().contains("EDP=1.000e5"));
+    }
+}

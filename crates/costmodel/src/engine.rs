@@ -1,0 +1,262 @@
+//! The [`CostModel`] trait and the dense/sparse engines mappers evaluate
+//! against (the "Evaluation Method" box of the paper's Fig. 2).
+
+use crate::analysis::{analyze, Breakdown, CapacityMode};
+use crate::cost::Cost;
+use arch::{Arch, SparseCaps};
+use mapping::{Mapping, MappingError};
+use problem::{Density, Problem};
+
+/// An analytical cost model bound to one (problem, architecture) pair.
+///
+/// Object-safe and `Sync` so mappers can share one evaluator across worker
+/// threads. Implementations must be deterministic: the same mapping always
+/// yields the same cost.
+pub trait CostModel: Sync {
+    /// The workload being mapped.
+    fn problem(&self) -> &Problem;
+
+    /// The accelerator being mapped onto.
+    fn arch(&self) -> &Arch;
+
+    /// Evaluates a mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MappingError`] if the mapping is illegal for this
+    /// model's legality rules.
+    fn evaluate(&self, m: &Mapping) -> Result<Cost, MappingError>;
+
+    /// Full per-level breakdown (same legality rules as
+    /// [`CostModel::evaluate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MappingError`] if the mapping is illegal.
+    fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError>;
+}
+
+/// Timeloop-like dense analytical model: strict capacity legality, no
+/// sparsity effects.
+#[derive(Debug, Clone)]
+pub struct DenseModel {
+    problem: Problem,
+    arch: Arch,
+}
+
+impl DenseModel {
+    /// Binds the model to a workload and accelerator.
+    pub fn new(problem: Problem, arch: Arch) -> Self {
+        DenseModel { problem, arch }
+    }
+}
+
+impl CostModel for DenseModel {
+    fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    fn evaluate(&self, m: &Mapping) -> Result<Cost, MappingError> {
+        self.evaluate_detailed(m).map(|b| b.cost)
+    }
+
+    fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
+        analyze(
+            &self.problem,
+            &self.arch,
+            m,
+            Density::DENSE,
+            &SparseCaps::none(),
+            CapacityMode::Strict,
+        )
+    }
+}
+
+/// Sparseloop-like sparse model: compressed footprints and traffic,
+/// gating/skipping, inner/outer-product style overheads, and *soft*
+/// capacity (overflowing tiles spill, inflating traffic, rather than being
+/// illegal — required for Table 2's cross-density testing).
+#[derive(Debug, Clone)]
+pub struct SparseModel {
+    problem: Problem,
+    arch: Arch,
+    caps: SparseCaps,
+    density: Density,
+}
+
+impl SparseModel {
+    /// Binds the model to a workload, accelerator, sparse capabilities, and
+    /// workload density profile.
+    pub fn new(problem: Problem, arch: Arch, caps: SparseCaps, density: Density) -> Self {
+        SparseModel { problem, arch, caps, density }
+    }
+
+    /// The density profile this model evaluates at.
+    pub fn density(&self) -> Density {
+        self.density
+    }
+
+    /// Same model, different density — used to cross-test a fixed mapping
+    /// under densities it was not tuned for (Table 2) and by the
+    /// sparsity-aware objective's density sweep (Table 4).
+    pub fn with_density(&self, density: Density) -> Self {
+        SparseModel { density, ..self.clone() }
+    }
+
+    /// The sparse capability description.
+    pub fn caps(&self) -> &SparseCaps {
+        &self.caps
+    }
+}
+
+impl CostModel for SparseModel {
+    fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    fn evaluate(&self, m: &Mapping) -> Result<Cost, MappingError> {
+        self.evaluate_detailed(m).map(|b| b.cost)
+    }
+
+    fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
+        analyze(&self.problem, &self.arch, m, self.density, &self.caps, CapacityMode::Soft)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::{force_order, order_reduction_innermost, order_reduction_outermost};
+    use mapping::MapSpace;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn conv() -> Problem {
+        Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3)
+    }
+
+    #[test]
+    fn dense_model_is_deterministic() {
+        let model = DenseModel::new(conv(), Arch::accel_b());
+        let s = MapSpace::new(conv(), Arch::accel_b());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let m = s.random(&mut rng);
+        let a = model.evaluate(&m).unwrap();
+        let b = model.evaluate(&m).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_dense_caps_none_matches_dense_model() {
+        let p = conv();
+        let a = Arch::accel_b();
+        let dense = DenseModel::new(p.clone(), a.clone());
+        let sparse = SparseModel::new(p.clone(), a.clone(), SparseCaps::none(), Density::DENSE);
+        let s = MapSpace::new(p, a);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let m = s.random(&mut rng);
+            let cd = dense.evaluate(&m).unwrap();
+            let cs = sparse.evaluate(&m).unwrap();
+            assert_eq!(cd, cs);
+        }
+    }
+
+    #[test]
+    fn sparser_weights_never_cost_more() {
+        let p = conv();
+        let a = Arch::accel_b();
+        let s = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let m = s.random(&mut rng);
+            let mut last = f64::INFINITY;
+            for dw in [1.0, 0.5, 0.1, 0.01] {
+                let model = SparseModel::new(
+                    p.clone(),
+                    a.clone(),
+                    SparseCaps::flexible(),
+                    Density::weight_sparse(dw),
+                );
+                let c = model.evaluate(&m).unwrap().edp();
+                assert!(
+                    c <= last * 1.0001,
+                    "EDP increased from {last:.3e} to {c:.3e} at density {dw}"
+                );
+                last = c;
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_beats_gating_beats_nothing_on_latency() {
+        let p = conv();
+        let a = Arch::accel_b();
+        let m = Mapping::trivial(&p, &a);
+        let d = Density::weight_sparse(0.1);
+        let lat = |caps: SparseCaps| {
+            SparseModel::new(p.clone(), a.clone(), caps, d)
+                .evaluate(&m)
+                .unwrap()
+                .latency_cycles
+        };
+        assert!(lat(SparseCaps::flexible()) < lat(SparseCaps::gating_only()));
+        let en = |caps: SparseCaps| {
+            SparseModel::new(p.clone(), a.clone(), caps, d).evaluate(&m).unwrap().energy_uj
+        };
+        assert!(en(SparseCaps::gating_only()) < en(SparseCaps::none()));
+    }
+
+    #[test]
+    fn inner_outer_crossover_with_density() {
+        // The Table 3 mechanism: inner wins dense, outer wins very sparse.
+        let p = Problem::gemm("g", 2, 32, 32, 32);
+        let a = Arch::accel_b();
+        let mut inner = Mapping::trivial(&p, &a);
+        force_order(&mut inner, &order_reduction_innermost(&p));
+        let mut outer = Mapping::trivial(&p, &a);
+        force_order(&mut outer, &order_reduction_outermost(&p));
+        let edp = |m: &Mapping, dw: f64| {
+            SparseModel::new(
+                p.clone(),
+                a.clone(),
+                SparseCaps::flexible(),
+                Density::weight_sparse(dw),
+            )
+            .evaluate(m)
+            .unwrap()
+            .edp()
+        };
+        assert!(edp(&inner, 1.0) < edp(&outer, 1.0), "inner should win dense");
+        assert!(edp(&outer, 0.01) < edp(&inner, 0.01), "outer should win sparse");
+    }
+
+    #[test]
+    fn with_density_rebinds() {
+        let model = SparseModel::new(
+            conv(),
+            Arch::accel_b(),
+            SparseCaps::flexible(),
+            Density::DENSE,
+        );
+        let d = Density::weight_sparse(0.5);
+        assert_eq!(model.with_density(d).density(), d);
+        assert_eq!(model.density(), Density::DENSE);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let model = DenseModel::new(conv(), Arch::accel_b());
+        let dyn_model: &dyn CostModel = &model;
+        let m = Mapping::trivial(dyn_model.problem(), dyn_model.arch());
+        assert!(dyn_model.evaluate(&m).is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix: `values[i]` with eigenvector
+/// `vectors` column `i`, sorted by descending eigenvalue.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, matching `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenvalues/eigenvectors of a symmetric matrix with cyclic
+/// Jacobi rotations. Robust and plenty fast for the feature dimensionalities
+/// used here (tens of dimensions).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn jacobi_eigen(a: &Matrix) -> Eigen {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        if m.max_off_diagonal() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Eigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &Eigen) -> Matrix {
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        e.vectors.matmul(&d).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+        ]);
+        let e = jacobi_eigen(&a);
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0],
+            vec![1.0, 2.0, 0.0],
+            vec![-2.0, 0.0, 3.0],
+        ]);
+        let e = jacobi_eigen(&a);
+        let r = reconstruct(&e);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-9, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0],
+            vec![1.0, 2.0, 0.0],
+            vec![-2.0, 0.0, 3.0],
+        ]);
+        let e = jacobi_eigen(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expected).abs() < 1e-9);
+            }
+        }
+    }
+}

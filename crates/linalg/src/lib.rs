@@ -1,0 +1,23 @@
+//! Minimal dense linear algebra substrate.
+//!
+//! Supports the Fig. 4 map-space visualization (PCA over mapping feature
+//! vectors) without external dependencies: a row-major [`Matrix`], a cyclic
+//! Jacobi symmetric eigendecomposition ([`jacobi_eigen`]), and [`Pca`].
+//!
+//! # Example
+//!
+//! ```
+//! use linalg::Pca;
+//!
+//! let data = vec![vec![1.0, 1.0], vec![2.0, 2.1], vec![3.0, 2.9]];
+//! let pca = Pca::fit(&data, 1);
+//! assert!(pca.explained_variance_ratio()[0] > 0.9);
+//! ```
+
+mod eigen;
+mod matrix;
+mod pca;
+
+pub use eigen::{jacobi_eigen, Eigen};
+pub use matrix::Matrix;
+pub use pca::Pca;

@@ -1,0 +1,149 @@
+//! Principal component analysis, used by the Fig. 4 map-space
+//! visualization: mapping feature vectors are projected onto their top-3
+//! principal components.
+
+use crate::eigen::jacobi_eigen;
+use crate::matrix::Matrix;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Component vectors as rows (k × d).
+    components: Matrix,
+    explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a `k`-component PCA on `data` (each row one sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, samples have unequal lengths, or
+    /// `k > dim`.
+    pub fn fit(data: &[Vec<f64>], k: usize) -> Self {
+        assert!(!data.is_empty(), "PCA needs at least one sample");
+        let d = data[0].len();
+        assert!(k <= d, "cannot extract {k} components from {d}-dim data");
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in data {
+            assert_eq!(row.len(), d, "ragged samples");
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for row in data {
+            for i in 0..d {
+                let ci = row[i] - mean[i];
+                for j in i..d {
+                    let cj = row[j] - mean[j];
+                    cov[(i, j)] += ci * cj;
+                }
+            }
+        }
+        let denom = (data.len().max(2) - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                cov[(i, j)] /= denom;
+                cov[(j, i)] = cov[(i, j)];
+            }
+        }
+        let eig = jacobi_eigen(&cov);
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let mut components = Matrix::zeros(k, d);
+        for c in 0..k {
+            for r in 0..d {
+                components[(c, r)] = eig.vectors[(r, c)];
+            }
+        }
+        let explained = eig.values[..k]
+            .iter()
+            .map(|&v| if total > 0.0 { v.max(0.0) / total } else { 0.0 })
+            .collect();
+        Pca { mean, components, explained }
+    }
+
+    /// Projects one sample onto the components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        self.components.matvec(&centered)
+    }
+
+    /// Fraction of variance explained by each component, in order.
+    pub fn explained_variance_ratio(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along (1, 1) with small noise: PC1 ≈ ±(1,1)/√2.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let data: Vec<Vec<f64>> = (0..500)
+            .map(|_| {
+                let t: f64 = rng.gen_range(-1.0..1.0);
+                let n: f64 = rng.gen_range(-0.01..0.01);
+                vec![t + n, t - n]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 2);
+        let c0 = (pca.components[(0, 0)], pca.components[(0, 1)]);
+        assert!((c0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+        assert!((c0.0 - c0.1).abs() < 0.05, "PC1 should be diagonal: {c0:?}");
+        assert!(pca.explained_variance_ratio()[0] > 0.99);
+    }
+
+    #[test]
+    fn transform_of_mean_is_origin() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let pca = Pca::fit(&data, 2);
+        let proj = pca.transform(&[3.0, 4.0]);
+        assert!(proj.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn projection_preserves_distances_with_full_rank() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data: Vec<Vec<f64>> =
+            (0..100).map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let pca = Pca::fit(&data, 4);
+        let a = pca.transform(&data[0]);
+        let b = pca.transform(&data[1]);
+        let orig: f64 =
+            data[0].iter().zip(&data[1]).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let proj: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        assert!((orig - proj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explained_ratios_sum_below_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data: Vec<Vec<f64>> =
+            (0..50).map(|_| (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let pca = Pca::fit(&data, 3);
+        let s: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!(s > 0.0 && s <= 1.0 + 1e-9);
+        assert_eq!(pca.num_components(), 3);
+    }
+}

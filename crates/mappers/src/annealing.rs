@@ -1,0 +1,154 @@
+//! Simulated annealing over the map space — a representative of the
+//! paper's "others" mapper category (§3.3 mentions MCMC-style search, e.g.
+//! FlexFlow), useful as an additional single-trajectory baseline.
+
+use crate::mapper::{Budget, Evaluator, Mapper, Recorder, SearchResult};
+use crate::operators;
+use mapping::{MapSpace, Mapping};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Simulated-annealing mapper with a geometric cooling schedule over
+/// log-score differences (scores span many orders of magnitude, so the
+/// Metropolis criterion works in log space).
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Initial temperature in log-score units.
+    pub initial_temp: f64,
+    /// Multiplicative cooling per step.
+    pub cooling: f64,
+    /// Restart from the incumbent best after this many consecutive
+    /// rejections.
+    pub restart_after: usize,
+}
+
+impl SimulatedAnnealing {
+    /// Default schedule tuned for ~1e3–1e4 sample budgets.
+    pub fn new() -> Self {
+        SimulatedAnnealing { initial_temp: 2.0, cooling: 0.999, restart_after: 200 }
+    }
+
+    fn propose(&self, m: &Mapping, space: &MapSpace, rng: &mut SmallRng) -> Mapping {
+        let mut c = m.clone();
+        match rng.gen_range(0..4) {
+            0 | 1 => operators::mutate_tile(&mut c, rng),
+            2 => operators::mutate_order(&mut c, rng),
+            _ => operators::mutate_parallelism(&mut c, space, rng),
+        }
+        if !operators::repair(&mut c, space) {
+            c = space.random(rng);
+        }
+        c
+    }
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing::new()
+    }
+}
+
+impl Mapper for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "Simulated-Annealing"
+    }
+
+    fn search(
+        &self,
+        space: &MapSpace,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        rng: &mut SmallRng,
+    ) -> SearchResult {
+        let mut rec = Recorder::new(evaluator, budget);
+        let mut current = space.random(rng);
+        let mut current_score = loop {
+            match rec.evaluate(&current) {
+                Some(s) => break s,
+                None => {
+                    if rec.done() {
+                        return rec.finish();
+                    }
+                    current = space.random(rng);
+                }
+            }
+        };
+        let mut temp = self.initial_temp;
+        let mut rejections = 0usize;
+        let mut best = (current.clone(), current_score);
+
+        while !rec.done() {
+            let cand = self.propose(&current, space, rng);
+            let Some(score) = rec.evaluate(&cand) else {
+                continue;
+            };
+            let accept = if score <= current_score {
+                true
+            } else {
+                let delta = (score.ln() - current_score.ln()) / temp.max(1e-9);
+                rng.gen_bool((-delta).exp().clamp(0.0, 1.0))
+            };
+            if accept {
+                current = cand;
+                current_score = score;
+                rejections = 0;
+                if score < best.1 {
+                    best = (current.clone(), score);
+                }
+            } else {
+                rejections += 1;
+                if rejections >= self.restart_after {
+                    current = best.0.clone();
+                    current_score = best.1;
+                    rejections = 0;
+                }
+            }
+            temp *= self.cooling;
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::EdpEvaluator;
+    use crate::random::RandomMapper;
+    use arch::Arch;
+    use costmodel::DenseModel;
+    use problem::Problem;
+    use rand::SeedableRng;
+
+    fn setup() -> (MapSpace, DenseModel) {
+        let p = Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+        let a = Arch::accel_b();
+        (MapSpace::new(p.clone(), a.clone()), DenseModel::new(p, a))
+    }
+
+    #[test]
+    fn annealing_improves_over_time() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let r = SimulatedAnnealing::new().search(&space, &eval, Budget::samples(800), &mut rng);
+        let first = r.history.first().unwrap().best_score;
+        assert!(r.best_score < first, "no improvement: {first} -> {}", r.best_score);
+    }
+
+    #[test]
+    fn annealing_competitive_with_random() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut wins = 0;
+        for seed in 0..6 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a = SimulatedAnnealing::new().search(&space, &eval, Budget::samples(500), &mut rng);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let b = RandomMapper::new().search(&space, &eval, Budget::samples(500), &mut rng);
+            if a.best_score <= b.best_score {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "annealing won only {wins}/6");
+    }
+}

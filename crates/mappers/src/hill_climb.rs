@@ -1,0 +1,130 @@
+//! Greedy hill climbing with random restarts — the simplest feedback-based
+//! trajectory search; a sanity baseline for the ablation benches.
+
+use crate::mapper::{Budget, Evaluator, Mapper, Recorder, SearchResult};
+use crate::operators;
+use mapping::{MapSpace, Mapping};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// First-improvement hill climber: propose a single-operator neighbor,
+/// accept iff it improves, restart from a fresh random mapping after
+/// `patience` consecutive failures.
+#[derive(Debug, Clone)]
+pub struct HillClimb {
+    /// Consecutive non-improving proposals before a random restart.
+    pub patience: usize,
+    seeds: Vec<Mapping>,
+}
+
+impl HillClimb {
+    /// Default patience (100 proposals).
+    pub fn new() -> Self {
+        HillClimb { patience: 100, seeds: Vec::new() }
+    }
+}
+
+impl Default for HillClimb {
+    fn default() -> Self {
+        HillClimb::new()
+    }
+}
+
+impl Mapper for HillClimb {
+    fn name(&self) -> &str {
+        "Hill-Climb"
+    }
+
+    fn set_seeds(&mut self, seeds: Vec<Mapping>) {
+        self.seeds = seeds;
+    }
+
+    fn search(
+        &self,
+        space: &MapSpace,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        rng: &mut SmallRng,
+    ) -> SearchResult {
+        let mut rec = Recorder::new(evaluator, budget);
+        let mut current = match self.seeds.first() {
+            Some(s) => {
+                let mut s = s.clone();
+                if operators::repair(&mut s, space) {
+                    s
+                } else {
+                    space.random(rng)
+                }
+            }
+            None => space.random(rng),
+        };
+        let mut current_score = rec.evaluate(&current).unwrap_or(f64::INFINITY);
+        let mut stale = 0usize;
+        while !rec.done() {
+            let mut cand = current.clone();
+            match rng.gen_range(0..4) {
+                0 | 1 => operators::mutate_tile(&mut cand, rng),
+                2 => operators::mutate_order(&mut cand, rng),
+                _ => operators::mutate_parallelism(&mut cand, space, rng),
+            }
+            if !operators::repair(&mut cand, space) {
+                cand = space.random(rng);
+            }
+            let score = rec.evaluate(&cand).unwrap_or(f64::INFINITY);
+            if score < current_score {
+                current = cand;
+                current_score = score;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.patience {
+                    current = space.random(rng);
+                    current_score = rec.evaluate(&current).unwrap_or(f64::INFINITY);
+                    stale = 0;
+                }
+            }
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::EdpEvaluator;
+    use arch::Arch;
+    use costmodel::DenseModel;
+    use problem::Problem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hill_climb_improves() {
+        let p = Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+        let a = Arch::accel_b();
+        let space = MapSpace::new(p.clone(), a.clone());
+        let model = DenseModel::new(p, a);
+        let eval = EdpEvaluator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let r = HillClimb::new().search(&space, &eval, Budget::samples(500), &mut rng);
+        assert!(r.best.is_some());
+        let first = r.history.first().unwrap().best_score;
+        assert!(r.best_score <= first);
+    }
+
+    #[test]
+    fn seeded_hill_climb_starts_from_seed() {
+        let p = Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+        let a = Arch::accel_b();
+        let space = MapSpace::new(p.clone(), a.clone());
+        let model = DenseModel::new(p, a);
+        let eval = EdpEvaluator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pre = HillClimb::new().search(&space, &eval, Budget::samples(400), &mut rng);
+        let (seed, cost) = pre.best.unwrap();
+        let mut hc = HillClimb::new();
+        hc.set_seeds(vec![seed]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let r = hc.search(&space, &eval, Budget::samples(50), &mut rng);
+        assert!(r.best_score <= cost.edp() * 1.0001);
+    }
+}

@@ -1,0 +1,325 @@
+//! The [`Mapper`] abstraction (the "Exploration Method" of Fig. 2) and the
+//! bookkeeping shared by all search algorithms: budgets, convergence
+//! histories, and the (latency, energy) Pareto archive from which the best
+//! EDP point is selected (§4.1 "Objective").
+
+use costmodel::{Cost, CostModel};
+use mapping::Mapping;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Search budget: the search stops when *any* limit is hit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Maximum number of cost-model evaluations (sampled points).
+    pub max_samples: Option<usize>,
+    /// Maximum wall-clock time.
+    pub max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// Sample-count budget (the paper's iso-sample comparisons, Fig. 3 top).
+    pub fn samples(n: usize) -> Self {
+        Budget { max_samples: Some(n), max_time: None }
+    }
+
+    /// Wall-clock budget (the paper's iso-time comparisons, Fig. 3 bottom).
+    pub fn seconds(s: f64) -> Self {
+        Budget { max_samples: None, max_time: Some(Duration::from_secs_f64(s)) }
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exhausted(&self, samples: usize, start: Instant) -> bool {
+        if let Some(n) = self.max_samples {
+            if samples >= n {
+                return true;
+            }
+        }
+        if let Some(t) = self.max_time {
+            if start.elapsed() >= t {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// One point of a convergence curve: best-so-far after `samples`
+/// evaluations / `seconds` of wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Evaluations performed so far.
+    pub samples: usize,
+    /// Wall-clock seconds elapsed so far.
+    pub seconds: f64,
+    /// Best (lowest) score so far; for the default objective this is EDP in
+    /// `cycles·µJ`.
+    pub best_score: f64,
+}
+
+/// Result of one mapper run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best mapping found and its cost, if any legal mapping was evaluated.
+    pub best: Option<(Mapping, Cost)>,
+    /// Best score (lower is better) of `best`.
+    pub best_score: f64,
+    /// Convergence history, one point per *improvement* plus the final
+    /// state (kept sparse so long searches stay cheap to store).
+    pub history: Vec<ConvergencePoint>,
+    /// All evaluated samples (legal ones), if recording was enabled.
+    pub samples: Vec<(Vec<f64>, f64)>,
+    /// The (latency, energy) Pareto frontier over every evaluated point.
+    pub pareto: Vec<(Mapping, Cost)>,
+    /// Total cost-model evaluations.
+    pub evaluated: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// What a mapper minimizes. Implementations wrap one or more cost models;
+/// the default is EDP on a single model. Returning `None` marks the mapping
+/// illegal under the evaluator's rules.
+pub trait Evaluator: Sync {
+    /// Scores a mapping (lower is better), together with its cost at the
+    /// reference density for reporting.
+    fn evaluate(&self, m: &Mapping) -> Option<(Cost, f64)>;
+}
+
+/// EDP objective over one cost model — the paper's default criterion.
+pub struct EdpEvaluator<'a> {
+    model: &'a dyn CostModel,
+}
+
+impl<'a> EdpEvaluator<'a> {
+    /// Wraps a cost model.
+    pub fn new(model: &'a dyn CostModel) -> Self {
+        EdpEvaluator { model }
+    }
+}
+
+impl Evaluator for EdpEvaluator<'_> {
+    fn evaluate(&self, m: &Mapping) -> Option<(Cost, f64)> {
+        let cost = self.model.evaluate(m).ok()?;
+        Some((cost, cost.edp()))
+    }
+}
+
+/// Shared run-state used by every mapper implementation: counts samples,
+/// tracks the incumbent, the history, and the Pareto archive.
+pub struct Recorder<'a> {
+    evaluator: &'a dyn Evaluator,
+    start: Instant,
+    budget: Budget,
+    best: Option<(Mapping, Cost)>,
+    best_score: f64,
+    history: Vec<ConvergencePoint>,
+    pareto: Vec<(Mapping, Cost)>,
+    samples: Vec<(Vec<f64>, f64)>,
+    record_samples: bool,
+    evaluated: usize,
+}
+
+impl<'a> Recorder<'a> {
+    /// Starts a run.
+    pub fn new(evaluator: &'a dyn Evaluator, budget: Budget) -> Self {
+        Recorder {
+            evaluator,
+            start: Instant::now(),
+            budget,
+            best: None,
+            best_score: f64::INFINITY,
+            history: Vec::new(),
+            pareto: Vec::new(),
+            samples: Vec::new(),
+            record_samples: false,
+            evaluated: 0,
+        }
+    }
+
+    /// Also record every evaluated sample's feature vector and score (used
+    /// by the Fig. 4 PCA harness). Off by default: it is memory-heavy.
+    pub fn record_samples(&mut self, on: bool) {
+        self.record_samples = on;
+    }
+
+    /// Whether the budget is spent.
+    pub fn done(&self) -> bool {
+        self.budget.exhausted(self.evaluated, self.start)
+    }
+
+    /// Evaluates one mapping, updating all bookkeeping. Returns the score
+    /// (`None` for illegal mappings — which still consume a sample, as in
+    /// Timeloop-mapper).
+    pub fn evaluate(&mut self, m: &Mapping) -> Option<f64> {
+        let out = self.evaluator.evaluate(m);
+        self.record_outcome(m, out)
+    }
+
+    /// Records a pre-computed evaluation outcome (used by mappers that
+    /// evaluate a population on worker threads and then feed the results
+    /// back in a deterministic order).
+    pub fn record_outcome(&mut self, m: &Mapping, out: Option<(Cost, f64)>) -> Option<f64> {
+        self.evaluated += 1;
+        let Some((cost, score)) = out else {
+            return None;
+        };
+        if self.record_samples {
+            self.samples.push((mapping::features::features(m), score));
+        }
+        if score < self.best_score {
+            self.best_score = score;
+            self.best = Some((m.clone(), cost));
+            self.history.push(ConvergencePoint {
+                samples: self.evaluated,
+                seconds: self.start.elapsed().as_secs_f64(),
+                best_score: score,
+            });
+        }
+        // Pareto archive on (latency, energy).
+        if !self.pareto.iter().any(|(_, c)| c.dominates(&cost)) {
+            self.pareto.retain(|(_, c)| !cost.dominates(c));
+            self.pareto.push((m.clone(), cost));
+        }
+        Some(score)
+    }
+
+    /// Current best score (infinite when nothing legal evaluated yet).
+    pub fn best_score(&self) -> f64 {
+        self.best_score
+    }
+
+    /// Number of evaluations so far.
+    pub fn evaluated(&self) -> usize {
+        self.evaluated
+    }
+
+    /// Finalizes the run.
+    pub fn finish(mut self) -> SearchResult {
+        let elapsed = self.start.elapsed();
+        self.history.push(ConvergencePoint {
+            samples: self.evaluated,
+            seconds: elapsed.as_secs_f64(),
+            best_score: self.best_score,
+        });
+        SearchResult {
+            best: self.best,
+            best_score: self.best_score,
+            history: self.history,
+            samples: self.samples,
+            pareto: self.pareto,
+            evaluated: self.evaluated,
+            elapsed,
+        }
+    }
+}
+
+/// A map-space search algorithm.
+pub trait Mapper {
+    /// Short display name ("Random-Pruned", "Gamma", ...).
+    fn name(&self) -> &str;
+
+    /// Runs the search against `evaluator` for the problem/architecture
+    /// bound into `space`, within `budget`. Deterministic given `rng`.
+    fn search(
+        &self,
+        space: &mapping::MapSpace,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        rng: &mut SmallRng,
+    ) -> SearchResult;
+
+    /// Supplies warm-start seed mappings (§5.1). Mappers that support
+    /// seeding use them to initialize their population/incumbent; the
+    /// default implementation ignores them.
+    fn set_seeds(&mut self, _seeds: Vec<Mapping>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::Arch;
+    use costmodel::DenseModel;
+    use mapping::MapSpace;
+    use problem::Problem;
+    use rand::SeedableRng;
+
+    fn setup() -> (MapSpace, DenseModel) {
+        let p = Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3);
+        let a = Arch::accel_b();
+        (MapSpace::new(p.clone(), a.clone()), DenseModel::new(p, a))
+    }
+
+    #[test]
+    fn recorder_tracks_best_and_history() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut rec = Recorder::new(&eval, Budget::samples(50));
+        let mut rng = SmallRng::seed_from_u64(0);
+        while !rec.done() {
+            rec.evaluate(&space.random(&mut rng));
+        }
+        let r = rec.finish();
+        assert_eq!(r.evaluated, 50);
+        assert!(r.best.is_some());
+        // History is monotone non-increasing in score, increasing in samples.
+        assert!(r.history.windows(2).all(|w| w[0].best_score >= w[1].best_score));
+        assert!(r.history.windows(2).all(|w| w[0].samples <= w[1].samples));
+        assert_eq!(r.history.last().unwrap().best_score, r.best_score);
+    }
+
+    #[test]
+    fn pareto_archive_is_nondominated() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut rec = Recorder::new(&eval, Budget::samples(100));
+        let mut rng = SmallRng::seed_from_u64(1);
+        while !rec.done() {
+            rec.evaluate(&space.random(&mut rng));
+        }
+        let r = rec.finish();
+        assert!(!r.pareto.is_empty());
+        for (i, (_, a)) in r.pareto.iter().enumerate() {
+            for (j, (_, b)) in r.pareto.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "archive contains dominated point");
+                }
+            }
+        }
+        // The best-EDP point is on the frontier.
+        let best_edp = r.best_score;
+        let frontier_best =
+            r.pareto.iter().map(|(_, c)| c.edp()).fold(f64::INFINITY, f64::min);
+        assert!((frontier_best - best_edp).abs() / best_edp < 1e-12);
+    }
+
+    #[test]
+    fn budget_by_time_stops() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut rec = Recorder::new(&eval, Budget::seconds(0.05));
+        let mut rng = SmallRng::seed_from_u64(2);
+        while !rec.done() {
+            rec.evaluate(&space.random(&mut rng));
+        }
+        let r = rec.finish();
+        assert!(r.elapsed.as_secs_f64() < 1.0);
+        assert!(r.evaluated > 0);
+    }
+
+    #[test]
+    fn sample_recording_captures_features() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut rec = Recorder::new(&eval, Budget::samples(10));
+        rec.record_samples(true);
+        let mut rng = SmallRng::seed_from_u64(3);
+        while !rec.done() {
+            rec.evaluate(&space.random(&mut rng));
+        }
+        let r = rec.finish();
+        assert_eq!(r.samples.len(), 10);
+        assert_eq!(r.samples[0].0.len(), mapping::features::feature_len(7, 3));
+    }
+}

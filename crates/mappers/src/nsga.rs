@@ -1,0 +1,173 @@
+//! NSGA-II-style multi-objective ranking: fast non-dominated sorting plus
+//! crowding distance over the (latency, energy) objectives.
+//!
+//! The paper runs its MSE multi-objective — "we use multi-objective —
+//! Energy and Latency (Delay) — throughout the optimization process" —
+//! and picks the best-EDP point off the Pareto frontier afterwards. With
+//! [`crate::GammaConfig::selection`] set to [`Selection::Nsga2`], Gamma's
+//! elite selection uses this ranking instead of scalar EDP.
+
+use costmodel::Cost;
+
+/// Elite-selection strategy for population mappers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Rank by the evaluator's scalar score (EDP by default).
+    Scalar,
+    /// NSGA-II non-dominated sorting + crowding distance on
+    /// (latency, energy).
+    Nsga2,
+}
+
+/// Returns population indices ordered best-first by (front, crowding):
+/// lower non-domination front first; within a front, larger crowding
+/// distance first. Points are `(latency, energy)`; non-finite points sort
+/// last.
+pub fn nsga2_order(points: &[(f64, f64)]) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let finite: Vec<bool> = points.iter().map(|p| p.0.is_finite() && p.1.is_finite()).collect();
+    let dominates = |a: usize, b: usize| -> bool {
+        let (al, ae) = points[a];
+        let (bl, be) = points[b];
+        al <= bl && ae <= be && (al < bl || ae < be)
+    };
+
+    // Fast non-dominated sort.
+    let mut front_of = vec![usize::MAX; n];
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut count = vec![0usize; n];
+    for a in 0..n {
+        if !finite[a] {
+            continue;
+        }
+        for b in 0..n {
+            if a == b || !finite[b] {
+                continue;
+            }
+            if dominates(a, b) {
+                dominated_by[a].push(b);
+            } else if dominates(b, a) {
+                count[a] += 1;
+            }
+        }
+    }
+    let mut current: Vec<usize> =
+        (0..n).filter(|&i| finite[i] && count[i] == 0).collect();
+    let mut front = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            front_of[i] = front;
+            for &j in &dominated_by[i] {
+                count[j] -= 1;
+                if count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        front += 1;
+    }
+    // Non-finite points go to a final pseudo-front.
+    for i in 0..n {
+        if front_of[i] == usize::MAX {
+            front_of[i] = front;
+        }
+    }
+
+    // Crowding distance per front (objective-wise boundary points get
+    // infinite distance).
+    let mut crowd = vec![0.0f64; n];
+    for f in 0..=front {
+        let members: Vec<usize> = (0..n).filter(|&i| front_of[i] == f).collect();
+        if members.len() <= 2 {
+            for &i in &members {
+                crowd[i] = f64::INFINITY;
+            }
+            continue;
+        }
+        for obj in 0..2usize {
+            let get = |i: usize| if obj == 0 { points[i].0 } else { points[i].1 };
+            let mut sorted = members.clone();
+            sorted.sort_by(|&a, &b| get(a).partial_cmp(&get(b)).unwrap_or(std::cmp::Ordering::Equal));
+            let span = (get(*sorted.last().expect("non-empty")) - get(sorted[0])).max(1e-12);
+            crowd[sorted[0]] = f64::INFINITY;
+            crowd[*sorted.last().expect("non-empty")] = f64::INFINITY;
+            for w in sorted.windows(3) {
+                if crowd[w[1]].is_finite() {
+                    crowd[w[1]] += (get(w[2]) - get(w[0])) / span;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        front_of[a]
+            .cmp(&front_of[b])
+            .then(crowd[b].partial_cmp(&crowd[a]).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    order
+}
+
+/// Convenience: NSGA-II order over optional costs (illegal mappings last).
+pub fn nsga2_order_costs(costs: &[Option<Cost>]) -> Vec<usize> {
+    let points: Vec<(f64, f64)> = costs
+        .iter()
+        .map(|c| match c {
+            Some(c) => (c.latency_cycles, c.energy_uj),
+            None => (f64::INFINITY, f64::INFINITY),
+        })
+        .collect();
+    nsga2_order(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_front_is_nondominated() {
+        // points: a=(1,4) b=(2,2) c=(4,1) form the frontier; d=(3,3) is
+        // dominated by b; e=(5,5) dominated by everything.
+        let pts = vec![(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0), (5.0, 5.0)];
+        let order = nsga2_order(&pts);
+        let first_three: Vec<usize> = order[..3].to_vec();
+        for i in [0usize, 1, 2] {
+            assert!(first_three.contains(&i), "frontier point {i} not in top 3: {order:?}");
+        }
+        assert_eq!(order[4], 4, "worst point must rank last");
+    }
+
+    #[test]
+    fn boundary_points_preferred_within_front() {
+        // Four points on one front; the crowded middle ones rank after the
+        // boundary ones.
+        let pts = vec![(1.0, 10.0), (4.9, 5.1), (5.0, 5.0), (10.0, 1.0)];
+        let order = nsga2_order(&pts);
+        assert!(order[..2].contains(&0));
+        assert!(order[..2].contains(&3));
+    }
+
+    #[test]
+    fn non_finite_points_rank_last() {
+        let pts = vec![(f64::INFINITY, 1.0), (1.0, 1.0)];
+        let order = nsga2_order(&pts);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(nsga2_order(&[]).is_empty());
+        assert_eq!(nsga2_order(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn cost_wrapper_handles_illegal() {
+        let costs = vec![None, Some(Cost::new(1.0, 1.0))];
+        assert_eq!(nsga2_order_costs(&costs), vec![1, 0]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Genetic search operators over mappings.
+//!
+//! Gamma's sampling efficiency comes from operators specialized to the
+//! three mapping axes (§4.4): [`mutate_tile`], [`mutate_order`],
+//! [`mutate_parallelism`], and a mapping-aware [`crossover`]. The
+//! non-domain-aware [`reset_dim`] / [`reset_order`] operators are what the
+//! "standard GA" baseline of Fig. 6 uses instead.
+//!
+//! All operators preserve the per-dimension factor-product invariant by
+//! construction; [`repair`] restores fanout and capacity legality
+//! afterwards.
+
+use mapping::factorization::{prime_factors, random_factorization};
+use mapping::permutation::random_permutation;
+use mapping::{MapSpace, Mapping};
+use rand::Rng;
+
+/// Moves one random prime factor of one dimension between two storage
+/// levels' temporal factors — the paper's *mutate-tile* (the axis found most
+/// impactful in Fig. 5). No-op if the picked dimension has bound 1.
+pub fn mutate_tile<R: Rng + ?Sized>(m: &mut Mapping, rng: &mut R) {
+    let d = m.num_dims();
+    let nl = m.num_levels();
+    let dim = rng.gen_range(0..d);
+    // Source: a level with a non-unit temporal factor for `dim`.
+    let sources: Vec<usize> =
+        (0..nl).filter(|&l| m.levels()[l].temporal[dim] > 1).collect();
+    if sources.is_empty() {
+        return;
+    }
+    let src = sources[rng.gen_range(0..sources.len())];
+    let primes = prime_factors(m.levels()[src].temporal[dim]);
+    let p = primes[rng.gen_range(0..primes.len())];
+    let mut dst = rng.gen_range(0..nl);
+    if dst == src {
+        dst = (dst + 1) % nl;
+    }
+    m.levels_mut()[src].temporal[dim] /= p;
+    m.levels_mut()[dst].temporal[dim] *= p;
+}
+
+/// Swaps two positions in one level's loop order — *mutate-order*.
+pub fn mutate_order<R: Rng + ?Sized>(m: &mut Mapping, rng: &mut R) {
+    let d = m.num_dims();
+    if d < 2 {
+        return;
+    }
+    let nl = m.num_levels();
+    let level = rng.gen_range(0..nl);
+    let i = rng.gen_range(0..d);
+    let mut j = rng.gen_range(0..d);
+    if i == j {
+        j = (j + 1) % d;
+    }
+    m.levels_mut()[level].order.swap(i, j);
+}
+
+/// Moves one prime factor between a level's temporal and spatial factors
+/// for one dimension — *mutate-parallelism*. Promotion respects the level's
+/// fanout.
+pub fn mutate_parallelism<R: Rng + ?Sized>(m: &mut Mapping, space: &MapSpace, rng: &mut R) {
+    let d = m.num_dims();
+    let nl = m.num_levels();
+    let levels: Vec<usize> = (0..nl).filter(|&l| space.arch().fanout_below(l) > 1).collect();
+    if levels.is_empty() {
+        return;
+    }
+    let level = levels[rng.gen_range(0..levels.len())];
+    let dim = rng.gen_range(0..d);
+    let promote = rng.gen_bool(0.5);
+    if promote {
+        let t = m.levels()[level].temporal[dim];
+        if t <= 1 {
+            return;
+        }
+        let primes = prime_factors(t);
+        let p = primes[rng.gen_range(0..primes.len())];
+        if m.levels()[level].spatial_product() * p <= space.arch().fanout_below(level) {
+            m.levels_mut()[level].temporal[dim] /= p;
+            m.levels_mut()[level].spatial[dim] *= p;
+        }
+    } else {
+        let s = m.levels()[level].spatial[dim];
+        if s <= 1 {
+            return;
+        }
+        let primes = prime_factors(s);
+        let p = primes[rng.gen_range(0..primes.len())];
+        m.levels_mut()[level].spatial[dim] /= p;
+        m.levels_mut()[level].temporal[dim] *= p;
+    }
+}
+
+/// Blends two mappings (Gamma's *crossover*, Fig. 6): the child inherits
+/// each dimension's whole factor column (temporal + spatial across all
+/// levels) from one parent or the other, and each level's loop order from
+/// one parent or the other. Column inheritance preserves the factor-product
+/// invariant; call [`repair`] afterwards for fanout/capacity.
+pub fn crossover<R: Rng + ?Sized>(a: &Mapping, b: &Mapping, rng: &mut R) -> Mapping {
+    debug_assert_eq!(a.num_dims(), b.num_dims());
+    debug_assert_eq!(a.num_levels(), b.num_levels());
+    let mut child = a.clone();
+    let d = a.num_dims();
+    let nl = a.num_levels();
+    for dim in 0..d {
+        if rng.gen_bool(0.5) {
+            for l in 0..nl {
+                child.levels_mut()[l].temporal[dim] = b.levels()[l].temporal[dim];
+                child.levels_mut()[l].spatial[dim] = b.levels()[l].spatial[dim];
+            }
+        }
+    }
+    for l in 0..nl {
+        if rng.gen_bool(0.5) {
+            child.levels_mut()[l].order = b.levels()[l].order.clone();
+        }
+    }
+    child
+}
+
+/// Non-domain-aware mutation used by the standard GA baseline: resamples
+/// one dimension's entire factorization uniformly at random (temporal
+/// slots only; spatialization is lost for that dimension).
+pub fn reset_dim<R: Rng + ?Sized>(m: &mut Mapping, space: &MapSpace, rng: &mut R) {
+    let d = m.num_dims();
+    let nl = m.num_levels();
+    let dim = rng.gen_range(0..d);
+    let split = random_factorization(rng, space.problem().bound(dim), nl);
+    for (l, f) in split.into_iter().enumerate() {
+        m.levels_mut()[l].temporal[dim] = f;
+        m.levels_mut()[l].spatial[dim] = 1;
+    }
+}
+
+/// Non-domain-aware order mutation: replaces one level's order with a fresh
+/// uniformly random permutation.
+pub fn reset_order<R: Rng + ?Sized>(m: &mut Mapping, rng: &mut R) {
+    let d = m.num_dims();
+    let nl = m.num_levels();
+    let level = rng.gen_range(0..nl);
+    m.levels_mut()[level].order = random_permutation(rng, d);
+}
+
+/// Restores fanout and buffer-capacity legality after operators, by
+/// demoting oversized spatial factors and migrating overflowing tile
+/// factors outward. Returns `false` only for unmappable problems.
+#[must_use]
+pub fn repair(m: &mut Mapping, space: &MapSpace) -> bool {
+    use mapping::factorization::prime_factors as pf;
+    for l in 0..m.num_levels() {
+        let fanout = space.arch().fanout_below(l);
+        while m.levels()[l].spatial_product() > fanout {
+            let (dim, f) = m.levels()[l]
+                .spatial
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, s)| s > 1)
+                .max_by_key(|&(_, s)| s)
+                .expect("over fanout implies factor > 1");
+            let p = *pf(f).first().expect("factor > 1");
+            m.levels_mut()[l].spatial[dim] /= p;
+            m.levels_mut()[l].temporal[dim] *= p;
+        }
+    }
+    m.repair_capacity(space.problem(), space.arch())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::Arch;
+    use problem::Problem;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn space() -> MapSpace {
+        MapSpace::new(Problem::conv2d("t", 4, 16, 16, 14, 14, 3, 3), Arch::accel_b())
+    }
+
+    #[test]
+    fn mutations_preserve_legality_after_repair() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut m = s.random(&mut rng);
+        for i in 0..500 {
+            match i % 3 {
+                0 => mutate_tile(&mut m, &mut rng),
+                1 => mutate_order(&mut m, &mut rng),
+                _ => mutate_parallelism(&mut m, &s, &mut rng),
+            }
+            assert!(repair(&mut m, &s));
+            m.validate(s.problem(), s.arch()).unwrap_or_else(|e| panic!("step {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn mutate_tile_changes_tiling_eventually() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m0 = s.random(&mut rng);
+        let mut m = m0.clone();
+        let mut changed = false;
+        for _ in 0..20 {
+            mutate_tile(&mut m, &mut rng);
+            if m != m0 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn crossover_produces_legal_children_after_repair() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a = s.random(&mut rng);
+            let b = s.random(&mut rng);
+            let mut c = crossover(&a, &b, &mut rng);
+            assert!(repair(&mut c, &s));
+            c.validate(s.problem(), s.arch()).unwrap();
+        }
+    }
+
+    #[test]
+    fn crossover_inherits_columns_from_parents() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = s.random(&mut rng);
+        let b = s.random(&mut rng);
+        let c = crossover(&a, &b, &mut rng);
+        for dim in 0..7 {
+            let col = |m: &Mapping| -> Vec<(u64, u64)> {
+                m.levels().iter().map(|l| (l.temporal[dim], l.spatial[dim])).collect()
+            };
+            let cc = col(&c);
+            assert!(cc == col(&a) || cc == col(&b), "dim {dim} column not from a parent");
+        }
+    }
+
+    #[test]
+    fn reset_operators_keep_factor_products() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut m = s.random(&mut rng);
+        for _ in 0..100 {
+            reset_dim(&mut m, &s, &mut rng);
+            reset_order(&mut m, &mut rng);
+            assert!(repair(&mut m, &s));
+            m.validate(s.problem(), s.arch()).unwrap();
+        }
+    }
+
+    #[test]
+    fn mutate_order_is_still_permutation() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut m = s.random(&mut rng);
+        for _ in 0..50 {
+            mutate_order(&mut m, &mut rng);
+        }
+        m.validate(s.problem(), s.arch()).unwrap();
+    }
+}

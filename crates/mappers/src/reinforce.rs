@@ -1,0 +1,167 @@
+//! Policy-gradient (REINFORCE) mapper — the reinforcement-learning member
+//! of the paper's feedback-based category (§3.3 cites RELEASE, ConfuciuX,
+//! FlexTensor; Gamma was shown to beat RL mappers [28, 30]).
+//!
+//! The policy is a factored Gaussian over the continuous mapping-feature
+//! embedding ([`mapping::features`]). Each step samples a batch of
+//! actions, projects them to legal mappings, scores them on the cost
+//! model, and ascends the score-function gradient of the expected
+//! (negated, normalized log-) EDP with a moving-average baseline.
+
+use crate::mapper::{Budget, Evaluator, Mapper, Recorder, SearchResult};
+use mapping::features::{feature_len, features, mapping_from_features};
+use mapping::MapSpace;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// REINFORCE configuration.
+#[derive(Debug, Clone)]
+pub struct Reinforce {
+    /// Actions sampled per policy update.
+    pub batch: usize,
+    /// Learning rate on the policy mean.
+    pub lr_mean: f64,
+    /// Learning rate on the policy log-std.
+    pub lr_std: f64,
+    /// Initial policy standard deviation.
+    pub init_std: f64,
+    /// Floor on the policy standard deviation.
+    pub min_std: f64,
+}
+
+impl Reinforce {
+    /// Defaults tuned for ~1e3-sample budgets.
+    pub fn new() -> Self {
+        Reinforce { batch: 20, lr_mean: 0.3, lr_std: 0.05, init_std: 2.0, min_std: 0.2 }
+    }
+}
+
+impl Default for Reinforce {
+    fn default() -> Self {
+        Reinforce::new()
+    }
+}
+
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl Mapper for Reinforce {
+    fn name(&self) -> &str {
+        "REINFORCE"
+    }
+
+    fn search(
+        &self,
+        space: &MapSpace,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        rng: &mut SmallRng,
+    ) -> SearchResult {
+        let mut rec = Recorder::new(evaluator, budget);
+        let problem = space.problem();
+        let n = feature_len(problem.num_dims(), space.arch().num_levels());
+        let mut mean = features(&space.random(rng));
+        let mut log_std = vec![self.init_std.ln(); n];
+        let mut baseline: Option<f64> = None;
+
+        while !rec.done() {
+            // Sample a batch of actions and their rewards.
+            let mut actions: Vec<(Vec<f64>, f64)> = Vec::with_capacity(self.batch);
+            for _ in 0..self.batch {
+                if rec.done() {
+                    break;
+                }
+                let x: Vec<f64> =
+                    (0..n).map(|i| mean[i] + log_std[i].exp() * gaussian(rng)).collect();
+                let Some(m) = mapping_from_features(problem, space.arch(), &x) else {
+                    continue;
+                };
+                let Some(score) = rec.evaluate(&m) else { continue };
+                // Reward: negative log score (scores span decades).
+                actions.push((x, -score.max(1e-30).ln()));
+            }
+            if actions.len() < 2 {
+                continue;
+            }
+            let mean_r: f64 =
+                actions.iter().map(|(_, r)| r).sum::<f64>() / actions.len() as f64;
+            let b = *baseline.get_or_insert(mean_r);
+            let std_r = (actions.iter().map(|(_, r)| (r - b) * (r - b)).sum::<f64>()
+                / actions.len() as f64)
+                .sqrt()
+                .max(1e-6);
+            // Score-function gradient with baseline, advantage-normalized.
+            let mut g_mean = vec![0.0f64; n];
+            let mut g_lstd = vec![0.0f64; n];
+            for (x, r) in &actions {
+                let adv = (r - b) / std_r;
+                for i in 0..n {
+                    let std = log_std[i].exp();
+                    let z = (x[i] - mean[i]) / std;
+                    g_mean[i] += adv * z / std;
+                    g_lstd[i] += adv * (z * z - 1.0);
+                }
+            }
+            let scale = 1.0 / actions.len() as f64;
+            for i in 0..n {
+                mean[i] += self.lr_mean * g_mean[i] * scale;
+                log_std[i] = (log_std[i] + self.lr_std * g_lstd[i] * scale)
+                    .max(self.min_std.ln());
+            }
+            baseline = Some(0.9 * b + 0.1 * mean_r);
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::Gamma;
+    use crate::mapper::EdpEvaluator;
+    use arch::Arch;
+    use costmodel::DenseModel;
+    use problem::Problem;
+    use rand::SeedableRng;
+
+    fn setup() -> (MapSpace, DenseModel) {
+        let p = Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+        let a = Arch::accel_b();
+        (MapSpace::new(p.clone(), a.clone()), DenseModel::new(p, a))
+    }
+
+    #[test]
+    fn reinforce_improves_and_is_deterministic() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Reinforce::new().search(&space, &eval, Budget::samples(600), &mut rng)
+        };
+        let r = run(0);
+        assert_eq!(r.best_score, run(0).best_score);
+        let first = r.history.first().unwrap().best_score;
+        assert!(r.best_score < first, "no improvement over first sample");
+    }
+
+    #[test]
+    fn gamma_not_worse_than_reinforce() {
+        // The Gamma-beats-RL finding the paper leans on ([28, 30]).
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut wins = 0;
+        for seed in 0..6 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = Gamma::new().search(&space, &eval, Budget::samples(600), &mut rng);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let r = Reinforce::new().search(&space, &eval, Budget::samples(600), &mut rng);
+            if g.best_score <= r.best_score {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "gamma won only {wins}/6 vs REINFORCE");
+    }
+}

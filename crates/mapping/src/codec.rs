@@ -1,0 +1,152 @@
+//! Compact text codec for mappings (persisting replay buffers / sharing
+//! found mappings without a serialization-format dependency).
+//!
+//! Format (one string, levels outermost-first, `|`-separated):
+//! `o:1,0,2;t:4,1,8;s:1,2,1|o:...` — order, temporal factors, spatial
+//! factors per level.
+
+use crate::map::{LevelMapping, Mapping};
+use std::fmt;
+
+/// Error parsing a mapping spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMappingError(String);
+
+impl fmt::Display for ParseMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid mapping spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseMappingError {}
+
+/// Serializes a mapping to its spec string.
+pub fn to_spec(m: &Mapping) -> String {
+    let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    m.levels()
+        .iter()
+        .map(|l| {
+            let order = l.order.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+            format!("o:{};t:{};s:{}", order, join(&l.temporal), join(&l.spatial))
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Parses a spec string back into a [`Mapping`]. Structural validation
+/// against a problem/architecture is the caller's job
+/// ([`Mapping::validate`]).
+///
+/// # Errors
+///
+/// Returns an error on malformed syntax or inconsistent vector lengths.
+pub fn from_spec(spec: &str) -> Result<Mapping, ParseMappingError> {
+    let err = |m: &str| ParseMappingError(format!("{m} in `{spec}`"));
+    let mut levels = Vec::new();
+    for level_str in spec.split('|') {
+        let mut order = None;
+        let mut temporal = None;
+        let mut spatial = None;
+        for field in level_str.split(';') {
+            let (key, val) = field.split_once(':').ok_or_else(|| err("bad field"))?;
+            match key {
+                "o" => {
+                    order = Some(
+                        val.split(',')
+                            .map(|x| x.trim().parse::<usize>())
+                            .collect::<Result<Vec<_>, _>>()
+                            .map_err(|_| err("bad order"))?,
+                    )
+                }
+                "t" | "s" => {
+                    let v = val
+                        .split(',')
+                        .map(|x| x.trim().parse::<u64>())
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|_| err("bad factors"))?;
+                    if v.contains(&0) {
+                        return Err(err("zero factor"));
+                    }
+                    if key == "t" {
+                        temporal = Some(v);
+                    } else {
+                        spatial = Some(v);
+                    }
+                }
+                _ => return Err(err("unknown field")),
+            }
+        }
+        let order = order.ok_or_else(|| err("missing order"))?;
+        let temporal = temporal.ok_or_else(|| err("missing temporal"))?;
+        let spatial = spatial.ok_or_else(|| err("missing spatial"))?;
+        if order.len() != temporal.len() || temporal.len() != spatial.len() {
+            return Err(err("inconsistent lengths"));
+        }
+        levels.push(LevelMapping { order, temporal, spatial });
+    }
+    if levels.is_empty() {
+        return Err(err("no levels"));
+    }
+    Ok(Mapping::new(levels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::MapSpace;
+    use arch::Arch;
+    use problem::Problem;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trips_random_mappings() {
+        let s = MapSpace::new(Problem::conv2d("t", 4, 16, 16, 14, 14, 3, 3), Arch::accel_b());
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let m = s.random(&mut rng);
+            let spec = to_spec(&m);
+            let back = from_spec(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn spec_shape_is_stable() {
+        let p = Problem::gemm("g", 2, 4, 4, 4);
+        let m = Mapping::trivial(&p, &Arch::accel_b());
+        assert_eq!(
+            to_spec(&m),
+            "o:0,1,2,3;t:2,4,4,4;s:1,1,1,1|o:0,1,2,3;t:1,1,1,1;s:1,1,1,1|o:0,1,2,3;t:1,1,1,1;s:1,1,1,1"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "o:0;t:1",              // missing spatial
+            "o:0;t:1;s:1,1",        // inconsistent lengths
+            "o:0;t:0;s:1",          // zero factor
+            "o:x;t:1;s:1",          // bad order
+            "q:0;t:1;s:1",          // unknown field
+        ] {
+            assert!(from_spec(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn round_trip_property(seed in any::<u64>()) {
+            let s = MapSpace::new(
+                Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3),
+                Arch::accel_a(),
+            );
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = s.random(&mut rng);
+            prop_assert_eq!(from_spec(&to_spec(&m)).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Integer factorization utilities underlying tile-size choices.
+//!
+//! Every legal tiling of a dimension with bound `n` across `k` slots (one
+//! per storage level / spatial boundary) is an ordered factorization of `n`
+//! into `k` factors. These helpers enumerate, count, and sample such
+//! factorizations and provide the prime machinery used by the tile-mutation
+//! operators and the map-space size computation (§4.2).
+
+use rand::Rng;
+
+/// Prime factorization of `n` as `(prime, exponent)` pairs, ascending.
+///
+/// `factorize(1)` is empty. `n` must be ≥ 1.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    assert!(n >= 1, "factorize(0) is undefined");
+    let mut out = Vec::new();
+    let mut p = 2u64;
+    while p * p <= n {
+        if n.is_multiple_of(p) {
+            let mut e = 0;
+            while n.is_multiple_of(p) {
+                n /= p;
+                e += 1;
+            }
+            out.push((p, e));
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// Flat list of prime factors of `n` with multiplicity (e.g. `12 → [2,2,3]`).
+pub fn prime_factors(n: u64) -> Vec<u64> {
+    factorize(n)
+        .into_iter()
+        .flat_map(|(p, e)| std::iter::repeat_n(p, e as usize))
+        .collect()
+}
+
+/// All divisors of `n`, ascending.
+pub fn divisors(n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut i = 1u64;
+    while i * i <= n {
+        if n.is_multiple_of(i) {
+            out.push(i);
+            if i != n / i {
+                out.push(n / i);
+            }
+        }
+        i += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Number of ordered factorizations of `n` into exactly `k` factors
+/// (factors of 1 allowed): `Π_p C(e_p + k - 1, k - 1)`.
+pub fn count_ordered_factorizations(n: u64, k: u32) -> f64 {
+    if k == 0 {
+        return if n == 1 { 1.0 } else { 0.0 };
+    }
+    factorize(n)
+        .into_iter()
+        .map(|(_, e)| binomial(e + k - 1, k - 1))
+        .product()
+}
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small inputs used
+/// here).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc.round()
+}
+
+/// Uniformly sample an ordered factorization of `n` into `k` factors, by
+/// distributing each prime's exponent over the `k` slots uniformly at
+/// random (a uniform "stars and bars" draw per prime).
+pub fn random_factorization<R: Rng + ?Sized>(rng: &mut R, n: u64, k: usize) -> Vec<u64> {
+    assert!(k >= 1);
+    let mut slots = vec![1u64; k];
+    for p in prime_factors(n) {
+        slots[rng.gen_range(0..k)] *= p;
+    }
+    slots
+}
+
+/// Enumerates all ordered factorizations of `n` into `k` factors. Intended
+/// for small `n`/`k` (tests and exhaustive sweeps); the count grows fast.
+pub fn ordered_factorizations(n: u64, k: usize) -> Vec<Vec<u64>> {
+    fn rec(n: u64, k: usize, acc: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
+        if k == 1 {
+            acc.push(n);
+            out.push(acc.clone());
+            acc.pop();
+            return;
+        }
+        for d in divisors(n) {
+            acc.push(d);
+            rec(n / d, k - 1, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(n, k, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Greedily builds an ordered factorization of `n` into `k` factors whose
+/// log-sizes approximate `target_logs` (length `k`, arbitrary nonnegative
+/// reals): each prime factor (largest first) is assigned to the slot with
+/// the largest remaining log-deficit. Used to project continuous tile-size
+/// proposals (gradient search, warm-start scaling) onto legal tilings.
+pub fn factorization_from_target_logs(n: u64, target_logs: &[f64]) -> Vec<u64> {
+    let k = target_logs.len();
+    assert!(k >= 1);
+    let mut slots = vec![1u64; k];
+    let mut primes = prime_factors(n);
+    primes.sort_unstable_by(|a, b| b.cmp(a));
+    for p in primes {
+        // Slot with the largest deficit (target - current); ties → first.
+        let (best, _) = (0..k)
+            .map(|i| (i, target_logs[i].max(0.0) - (slots[i] as f64).ln()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN targets"))
+            .expect("k >= 1");
+        slots[best] *= p;
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factorize_known_values() {
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(12), vec![(2, 2), (3, 1)]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+        assert_eq!(factorize(1024), vec![(2, 10)]);
+    }
+
+    #[test]
+    fn divisors_known_values() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(28), vec![1, 2, 4, 7, 14, 28]);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for n in [1u64, 2, 12, 16, 28, 30] {
+            for k in 1..=3usize {
+                let c = count_ordered_factorizations(n, k as u32);
+                let e = ordered_factorizations(n, k).len() as f64;
+                assert_eq!(c, e, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_known() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(3, 0), 1.0);
+        assert_eq!(binomial(2, 3), 0.0);
+    }
+
+    #[test]
+    fn target_logs_projection_is_exact_factorization() {
+        let f = factorization_from_target_logs(256, &[4.0f64.ln(), 8.0f64.ln(), 8.0f64.ln()]);
+        assert_eq!(f.iter().product::<u64>(), 256);
+        // Achievable targets are hit exactly.
+        assert_eq!(f.iter().copied().max(), Some(8));
+    }
+
+    proptest! {
+        #[test]
+        fn random_factorization_products(n in 1u64..5000, k in 1usize..5, seed in any::<u64>()) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let f = random_factorization(&mut rng, n, k);
+            prop_assert_eq!(f.len(), k);
+            prop_assert_eq!(f.iter().product::<u64>(), n);
+        }
+
+        #[test]
+        fn prime_factors_multiply_back(n in 1u64..100_000) {
+            prop_assert_eq!(prime_factors(n).iter().product::<u64>(), n);
+        }
+
+        #[test]
+        fn target_projection_products(n in 1u64..5000, k in 1usize..5) {
+            let targets = vec![1.0; k];
+            let f = factorization_from_target_logs(n, &targets);
+            prop_assert_eq!(f.iter().product::<u64>(), n);
+        }
+
+        #[test]
+        fn divisors_divide(n in 1u64..10_000) {
+            for d in divisors(n) {
+                prop_assert_eq!(n % d, 0);
+            }
+        }
+    }
+}

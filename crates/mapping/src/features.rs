@@ -1,0 +1,175 @@
+//! Continuous feature vectors for mappings.
+//!
+//! Used in two places in the paper's methodology:
+//!
+//! * **Fig. 4** — PCA projection of sampled mappings to visualize how each
+//!   mapper navigates the space;
+//! * **Mind Mappings** — the gradient-based mapper optimizes a continuous
+//!   relaxation of the mapping through a differentiable surrogate, then
+//!   projects back to the nearest legal mapping.
+//!
+//! Layout: for each storage level, for each dimension, three features:
+//! `log2(temporal factor)`, `log2(spatial factor)`, and the dimension's
+//! normalized position in that level's loop order (0 = outermost).
+
+use crate::factorization::{factorization_from_target_logs, prime_factors};
+use crate::map::{LevelMapping, Mapping};
+use arch::Arch;
+use problem::Problem;
+
+/// Number of features for a problem with `num_dims` dims on `num_levels`
+/// storage levels.
+pub fn feature_len(num_dims: usize, num_levels: usize) -> usize {
+    num_dims * num_levels * 3
+}
+
+/// Extracts the feature vector of a mapping. Inverse (up to projection):
+/// [`mapping_from_features`].
+pub fn features(mapping: &Mapping) -> Vec<f64> {
+    let d = mapping.num_dims();
+    let mut out = Vec::with_capacity(feature_len(d, mapping.num_levels()));
+    for level in mapping.levels() {
+        let mut pos = vec![0usize; d];
+        for (i, &dim) in level.order.iter().enumerate() {
+            pos[dim] = i;
+        }
+        let denom = (d.max(2) - 1) as f64;
+        for dim in 0..d {
+            out.push((level.temporal[dim] as f64).log2());
+            out.push((level.spatial[dim] as f64).log2());
+            out.push(pos[dim] as f64 / denom);
+        }
+    }
+    out
+}
+
+/// Projects a continuous feature vector to the nearest legal mapping:
+///
+/// 1. per dimension, the per-level `(temporal, spatial)` log2 targets are
+///    realized by a greedy prime-assignment factorization of the bound;
+/// 2. spatial factors exceeding a level's fanout are demoted to temporal;
+/// 3. each level's order is the argsort of the position features;
+/// 4. buffer-capacity violations are repaired by migrating factors outward.
+///
+/// Returns `None` if the problem cannot fit even unit tiles (never the case
+/// for the paper's presets).
+///
+/// # Panics
+///
+/// Panics if `feats.len() != feature_len(problem.num_dims(), arch.num_levels())`.
+pub fn mapping_from_features(problem: &Problem, arch: &Arch, feats: &[f64]) -> Option<Mapping> {
+    let d = problem.num_dims();
+    let nl = arch.num_levels();
+    assert_eq!(feats.len(), feature_len(d, nl), "feature vector length mismatch");
+    let at = |li: usize, dim: usize, k: usize| feats[(li * d + dim) * 3 + k];
+
+    let mut levels: Vec<LevelMapping> = (0..nl).map(|_| LevelMapping::unit(d)).collect();
+    let ln2 = 2f64.ln();
+    for dim in 0..d {
+        let mut targets = Vec::with_capacity(2 * nl);
+        for li in 0..nl {
+            targets.push(at(li, dim, 0).max(0.0) * ln2);
+            targets.push(at(li, dim, 1).max(0.0) * ln2);
+        }
+        let split = factorization_from_target_logs(problem.bound(dim), &targets);
+        for li in 0..nl {
+            levels[li].temporal[dim] = split[2 * li];
+            levels[li].spatial[dim] = split[2 * li + 1];
+        }
+    }
+    for (li, level) in levels.iter_mut().enumerate() {
+        let fanout = arch.fanout_below(li);
+        while level.spatial_product() > fanout {
+            let (dim, f) = level
+                .spatial
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, s)| s > 1)
+                .max_by_key(|&(_, s)| s)
+                .expect("over fanout implies a factor > 1");
+            let p = *prime_factors(f).first().expect("factor > 1");
+            level.spatial[dim] /= p;
+            level.temporal[dim] *= p;
+        }
+        let mut idx: Vec<usize> = (0..d).collect();
+        idx.sort_by(|&a, &b| {
+            at(li, a, 2)
+                .partial_cmp(&at(li, b, 2))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        level.order = idx;
+    }
+    let mut m = Mapping::new(levels);
+    if !m.repair_capacity(problem, arch) {
+        return None;
+    }
+    debug_assert!(m.is_legal(problem, arch));
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::MapSpace;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn space() -> MapSpace {
+        MapSpace::new(Problem::conv2d("t", 4, 16, 16, 14, 14, 3, 3), Arch::accel_b())
+    }
+
+    #[test]
+    fn feature_length_matches() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let m = s.random(&mut rng);
+        assert_eq!(features(&m).len(), feature_len(7, 3));
+    }
+
+    #[test]
+    fn features_round_trip_exactly_when_legal() {
+        // A mapping whose own features decode back to itself (no repair
+        // needed): extraction and projection are mutually consistent.
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let m = s.random(&mut rng);
+            let f = features(&m);
+            let back = mapping_from_features(s.problem(), s.arch(), &f).unwrap();
+            // Tile factors must round-trip exactly; order too.
+            for (l0, l1) in m.levels().iter().zip(back.levels()) {
+                assert_eq!(l0.temporal, l1.temporal);
+                assert_eq!(l0.spatial, l1.spatial);
+                assert_eq!(l0.order, l1.order);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_of_noise_is_legal() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(3);
+        use rand::Rng;
+        for _ in 0..50 {
+            let f: Vec<f64> = (0..feature_len(7, 3)).map(|_| rng.gen_range(-2.0..6.0)).collect();
+            let m = mapping_from_features(s.problem(), s.arch(), &f).unwrap();
+            m.validate(s.problem(), s.arch()).unwrap();
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn projection_always_legal(seed in any::<u64>()) {
+            let s = space();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            use rand::Rng;
+            let f: Vec<f64> = (0..feature_len(7, 3)).map(|_| rng.gen_range(-4.0..8.0)).collect();
+            let m = mapping_from_features(s.problem(), s.arch(), &f).unwrap();
+            prop_assert!(m.is_legal(s.problem(), s.arch()));
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! The [`Mapping`] type: a point in the map space.
+//!
+//! A mapping assigns, per storage level (outermost first, matching
+//! [`arch::Arch::levels`]):
+//!
+//! * **temporal tile factors** — one factor per problem dimension; the
+//!   product of a dimension's factors across all levels (temporal ×
+//!   spatial) must equal its loop bound;
+//! * **a loop order** — a permutation of the dimensions, outermost first;
+//! * **spatial factors** — one factor per dimension, distributing work
+//!   across the instances below that level (PEs, then ALUs); their product
+//!   must not exceed the level's fanout.
+//!
+//! These are exactly the paper's three mapping axes (§2.3): tile sizes,
+//! loop order, and loop parallelization.
+
+use crate::factorization::{factorization_from_target_logs, prime_factors};
+use arch::Arch;
+use problem::Problem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mapping decisions at one storage level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LevelMapping {
+    /// Loop order: permutation of dimension indices, outermost first.
+    pub order: Vec<usize>,
+    /// Temporal tile factor per dimension index.
+    pub temporal: Vec<u64>,
+    /// Spatial (parallel) factor per dimension index, across the fanout
+    /// below this level.
+    pub spatial: Vec<u64>,
+}
+
+impl LevelMapping {
+    /// A no-op level: identity order, all factors 1.
+    pub fn unit(num_dims: usize) -> Self {
+        LevelMapping {
+            order: (0..num_dims).collect(),
+            temporal: vec![1; num_dims],
+            spatial: vec![1; num_dims],
+        }
+    }
+
+    /// Product of this level's spatial factors (lanes used below it).
+    pub fn spatial_product(&self) -> u64 {
+        self.spatial.iter().product()
+    }
+}
+
+/// One loop of the flattened nest, outermost first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loop {
+    /// Problem dimension index.
+    pub dim: usize,
+    /// Loop bound (tile factor). May be 1.
+    pub bound: u64,
+    /// Whether this is a spatial (parallel-for) loop.
+    pub spatial: bool,
+    /// Storage level the loop belongs to.
+    pub level: usize,
+}
+
+/// Why a mapping is illegal for a given problem/architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// Level count differs from the architecture's.
+    WrongLevelCount { expected: usize, found: usize },
+    /// A per-dimension vector has the wrong length.
+    WrongDimCount { level: usize },
+    /// A level's order is not a permutation of the dimensions.
+    BadPermutation { level: usize },
+    /// A dimension's factors do not multiply to its bound.
+    FactorProduct { dim: usize, product: u64, bound: u64 },
+    /// A level's spatial factors exceed its fanout.
+    FanoutExceeded { level: usize, used: u64, fanout: u64 },
+    /// A buffer level cannot hold its tiles.
+    CapacityExceeded { level: usize, needed_words: f64, capacity_words: u64 },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::WrongLevelCount { expected, found } => {
+                write!(f, "mapping has {found} levels, architecture has {expected}")
+            }
+            MappingError::WrongDimCount { level } => {
+                write!(f, "level {level} has wrong per-dimension vector length")
+            }
+            MappingError::BadPermutation { level } => {
+                write!(f, "level {level} order is not a permutation")
+            }
+            MappingError::FactorProduct { dim, product, bound } => {
+                write!(f, "dim {dim} factors multiply to {product}, bound is {bound}")
+            }
+            MappingError::FanoutExceeded { level, used, fanout } => {
+                write!(f, "level {level} uses {used} spatial lanes, fanout is {fanout}")
+            }
+            MappingError::CapacityExceeded { level, needed_words, capacity_words } => {
+                write!(
+                    f,
+                    "level {level} needs {needed_words:.0} words, capacity is {capacity_words}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// A complete mapping: one [`LevelMapping`] per storage level, outermost
+/// first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    levels: Vec<LevelMapping>,
+}
+
+impl Mapping {
+    /// Builds a mapping from per-level decisions. Structural legality is
+    /// *not* checked here; call [`Mapping::validate`].
+    pub fn new(levels: Vec<LevelMapping>) -> Self {
+        Mapping { levels }
+    }
+
+    /// The trivially legal mapping: the whole problem iterated temporally at
+    /// the outermost level, unit tiles everywhere inside. Always satisfies
+    /// capacity (one word per tensor per inner level) but uses one lane.
+    pub fn trivial(problem: &Problem, arch: &Arch) -> Self {
+        let d = problem.num_dims();
+        let mut levels = vec![LevelMapping::unit(d); arch.num_levels()];
+        for (i, b) in problem.bounds().into_iter().enumerate() {
+            levels[0].temporal[i] = b;
+        }
+        Mapping { levels }
+    }
+
+    /// Per-level decisions, outermost first.
+    pub fn levels(&self) -> &[LevelMapping] {
+        &self.levels
+    }
+
+    /// Mutable access for search operators. Invariants are re-checked by
+    /// [`Mapping::validate`] after mutation.
+    pub fn levels_mut(&mut self) -> &mut [LevelMapping] {
+        &mut self.levels
+    }
+
+    /// Number of storage levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of problem dimensions this mapping is for.
+    pub fn num_dims(&self) -> usize {
+        self.levels.first().map_or(0, |l| l.temporal.len())
+    }
+
+    /// Per-dimension extent of the data tile resident at `level`: the
+    /// product of all temporal *and* spatial factors at this level and
+    /// every inner level. A level's own temporal loops iterate over its
+    /// resident tile, so they contribute to its footprint; its spatial
+    /// loops distribute the tile across its children, so they contribute
+    /// here but not to the children's footprints. Level 0 (DRAM) covers
+    /// the whole problem.
+    pub fn tile_extents(&self, level: usize) -> Vec<u64> {
+        let d = self.num_dims();
+        let mut ext = vec![1u64; d];
+        for l in &self.levels[level..] {
+            for dim in 0..d {
+                ext[dim] *= l.temporal[dim] * l.spatial[dim];
+            }
+        }
+        ext
+    }
+
+    /// Total spatial lanes used (product of all spatial factors).
+    pub fn used_lanes(&self) -> u64 {
+        self.levels.iter().map(|l| l.spatial_product()).product()
+    }
+
+    /// The flattened loop nest, outermost first. Each level contributes its
+    /// temporal loops (in its declared order) followed by its spatial loops.
+    pub fn nest(&self) -> Vec<Loop> {
+        let mut out = Vec::new();
+        for (li, l) in self.levels.iter().enumerate() {
+            for &dim in &l.order {
+                out.push(Loop { dim, bound: l.temporal[dim], spatial: false, level: li });
+            }
+            for (dim, &s) in l.spatial.iter().enumerate() {
+                if s > 1 {
+                    out.push(Loop { dim, bound: s, spatial: true, level: li });
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense per-tensor footprints (words) of the tiles resident at `level`.
+    pub fn footprints(&self, problem: &Problem, level: usize) -> Vec<f64> {
+        let ext = self.tile_extents(level);
+        problem.tensors().iter().map(|t| t.projection.footprint_f64(&ext)).collect()
+    }
+
+    /// Checks all legality constraints (§3.1: "we ensure that all candidate
+    /// mappings are legal").
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: structure, permutation,
+    /// per-dimension factor products, fanouts, then buffer capacities
+    /// (innermost level checked first).
+    pub fn validate(&self, problem: &Problem, arch: &Arch) -> Result<(), MappingError> {
+        self.validate_structure(problem, arch)?;
+        // Innermost-first: the tightest buffers fail fastest.
+        for li in (0..self.levels.len()).rev() {
+            if let Some(cap) = arch.level(li).capacity_words {
+                let needed: f64 = self.footprints(problem, li).iter().sum();
+                if needed > cap as f64 {
+                    return Err(MappingError::CapacityExceeded {
+                        level: li,
+                        needed_words: needed,
+                        capacity_words: cap,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks every constraint *except* buffer capacities: level/dim vector
+    /// shapes, order permutations, per-dimension factor products, and
+    /// spatial fanouts. The sparse cost model uses this and applies its own
+    /// compressed-footprint capacity rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint.
+    pub fn validate_structure(&self, problem: &Problem, arch: &Arch) -> Result<(), MappingError> {
+        let d = problem.num_dims();
+        if self.levels.len() != arch.num_levels() {
+            return Err(MappingError::WrongLevelCount {
+                expected: arch.num_levels(),
+                found: self.levels.len(),
+            });
+        }
+        for (li, l) in self.levels.iter().enumerate() {
+            if l.order.len() != d || l.temporal.len() != d || l.spatial.len() != d {
+                return Err(MappingError::WrongDimCount { level: li });
+            }
+            let mut seen = vec![false; d];
+            for &o in &l.order {
+                if o >= d || seen[o] {
+                    return Err(MappingError::BadPermutation { level: li });
+                }
+                seen[o] = true;
+            }
+        }
+        for dim in 0..d {
+            let product: u64 = self
+                .levels
+                .iter()
+                .map(|l| l.temporal[dim] * l.spatial[dim])
+                .product();
+            if product != problem.bound(dim) {
+                return Err(MappingError::FactorProduct {
+                    dim,
+                    product,
+                    bound: problem.bound(dim),
+                });
+            }
+        }
+        for (li, l) in self.levels.iter().enumerate() {
+            let used = l.spatial_product();
+            let fanout = arch.fanout_below(li);
+            if used > fanout {
+                return Err(MappingError::FanoutExceeded { level: li, used, fanout });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the mapping is legal (shorthand for `validate(..).is_ok()`).
+    pub fn is_legal(&self, problem: &Problem, arch: &Arch) -> bool {
+        self.validate(problem, arch).is_ok()
+    }
+
+    /// Repairs capacity violations in place by migrating prime factors from
+    /// inner temporal/spatial factors to the outermost level's temporal
+    /// loops (shrinking inner tiles) until every buffer fits.
+    ///
+    /// Returns `false` if the mapping cannot be repaired (the buffer cannot
+    /// even hold unit tiles).
+    #[must_use]
+    pub fn repair_capacity(&mut self, problem: &Problem, arch: &Arch) -> bool {
+        let d = problem.num_dims();
+        for li in (1..self.levels.len()).rev() {
+            let Some(cap) = arch.level(li).capacity_words else { continue };
+            loop {
+                let needed: f64 = self.footprints(problem, li).iter().sum();
+                if needed <= cap as f64 {
+                    break;
+                }
+                // Pick the (inner position, dim) with the largest factor to
+                // shrink: any temporal or spatial factor at level li or
+                // inside it contributes to the li tile.
+                let mut best: Option<(usize, bool, usize, u64)> = None; // (level, is_spatial, dim, factor)
+                for lj in li..self.levels.len() {
+                    for dim in 0..d {
+                        let t = self.levels[lj].temporal[dim];
+                        if t > 1 && best.is_none_or(|b| t > b.3) {
+                            best = Some((lj, false, dim, t));
+                        }
+                        let s = self.levels[lj].spatial[dim];
+                        if s > 1 && best.is_none_or(|b| s > b.3) {
+                            best = Some((lj, true, dim, s));
+                        }
+                    }
+                }
+                let Some((lj, is_spatial, dim, f)) = best else { return false };
+                let p = *prime_factors(f).first().expect("factor > 1");
+                if is_spatial {
+                    self.levels[lj].spatial[dim] /= p;
+                } else {
+                    self.levels[lj].temporal[dim] /= p;
+                }
+                self.levels[0].temporal[dim] *= p;
+            }
+        }
+        true
+    }
+
+    /// Warm-start tile scaling (§5.1.2 step 2): keep this mapping's loop
+    /// orders and parallelization *pattern*, and re-derive tile factors for
+    /// a new problem by scaling each dimension's per-level log-split to the
+    /// new bound. Dimensions of `to` not present in `from` put their whole
+    /// bound at the outermost level.
+    ///
+    /// The result is capacity-repaired for `arch`; returns `None` only if
+    /// even unit tiles do not fit.
+    pub fn scale_to(&self, from: &Problem, to: &Problem, arch: &Arch) -> Option<Mapping> {
+        let nl = self.levels.len();
+        let d_to = to.num_dims();
+        let mut levels: Vec<LevelMapping> = (0..nl).map(|_| LevelMapping::unit(d_to)).collect();
+
+        // Orders: map dims by name where possible; unmatched dims keep their
+        // canonical position appended at the end (innermost).
+        for li in 0..nl {
+            let mut order: Vec<usize> = Vec::with_capacity(d_to);
+            for &od in &self.levels[li].order {
+                let name = from.dims()[od].name;
+                if let Some(nd) = to.dim_index(name) {
+                    order.push(nd);
+                }
+            }
+            for nd in 0..d_to {
+                if !order.contains(&nd) {
+                    order.push(nd);
+                }
+            }
+            levels[li].order = order;
+        }
+
+        for nd in 0..d_to {
+            let bound = to.bound(nd);
+            let name = to.dims()[nd].name;
+            match from.dim_index(name) {
+                Some(od) => {
+                    let old_bound = from.bound(od) as f64;
+                    let scale = if old_bound > 1.0 {
+                        (bound as f64).ln() / old_bound.ln()
+                    } else {
+                        0.0
+                    };
+                    // 2*nl slots: temporal then spatial per level.
+                    let mut targets = Vec::with_capacity(2 * nl);
+                    for l in &self.levels {
+                        targets.push((l.temporal[od] as f64).ln() * scale);
+                        targets.push((l.spatial[od] as f64).ln() * scale);
+                    }
+                    if scale == 0.0 {
+                        targets[0] = (bound as f64).ln();
+                    }
+                    let split = factorization_from_target_logs(bound, &targets);
+                    for li in 0..nl {
+                        levels[li].temporal[nd] = split[2 * li];
+                        levels[li].spatial[nd] = split[2 * li + 1];
+                    }
+                }
+                None => levels[0].temporal[nd] = bound,
+            }
+        }
+
+        let mut m = Mapping::new(levels);
+        // Spatial products may exceed fanout after rounding; demote extras.
+        for li in 0..nl {
+            let fanout = arch.fanout_below(li);
+            while m.levels[li].spatial_product() > fanout {
+                let (dim, f) = m.levels[li]
+                    .spatial
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, s)| s > 1)
+                    .max_by_key(|&(_, s)| s)
+                    .expect("product > fanout >= 1 implies some factor > 1");
+                let p = *prime_factors(f).first().expect("factor > 1");
+                m.levels[li].spatial[dim] /= p;
+                m.levels[li].temporal[dim] *= p;
+            }
+        }
+        if !m.repair_capacity(to, arch) {
+            return None;
+        }
+        debug_assert!(m.is_legal(to, arch), "{:?}", m.validate(to, arch));
+        Some(m)
+    }
+}
+
+impl fmt::Display for Mapping {
+    /// Pretty-prints the loop nest like the paper's Fig. 1 (outermost
+    /// first, `par-for` for spatial loops, unit loops elided).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut indent = 0usize;
+        for (li, _) in self.levels.iter().enumerate() {
+            writeln!(f, "{:indent$}--- L{li} ---", "")?;
+            for l in self.nest().iter().filter(|l| l.level == li && l.bound > 1) {
+                let kw = if l.spatial { "par-for" } else { "for" };
+                writeln!(f, "{:indent$}{kw} d{} in 0..{}", "", l.dim, l.bound)?;
+                indent += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Problem, Arch) {
+        (Problem::conv2d("t", 4, 8, 8, 7, 7, 3, 3), Arch::accel_b())
+    }
+
+    #[test]
+    fn trivial_is_legal() {
+        let (p, a) = setup();
+        let m = Mapping::trivial(&p, &a);
+        m.validate(&p, &a).unwrap();
+        assert_eq!(m.used_lanes(), 1);
+        assert_eq!(m.tile_extents(1), vec![1; 7]);
+    }
+
+    #[test]
+    fn tile_extents_accumulate_inner_levels() {
+        let (p, a) = setup();
+        let mut m = Mapping::trivial(&p, &a);
+        // Move K=8 split: 2 at DRAM, 2 spatial at L1 boundary, 2 temporal at L2.
+        m.levels_mut()[0].temporal[1] = 2;
+        m.levels_mut()[1].spatial[1] = 2;
+        m.levels_mut()[2].temporal[1] = 2;
+        m.validate(&p, &a).unwrap();
+        // Tile at GlobalBuffer (level 1) covers its spatial split and inner.
+        assert_eq!(m.tile_extents(1)[1], 4);
+        // Tile at LocalBuffer (level 2) covers only the inner temporal.
+        assert_eq!(m.tile_extents(2)[1], 2);
+        assert_eq!(m.used_lanes(), 2);
+    }
+
+    #[test]
+    fn factor_product_violation_detected() {
+        let (p, a) = setup();
+        let mut m = Mapping::trivial(&p, &a);
+        m.levels_mut()[0].temporal[1] = 4; // K now multiplies to 4, bound 8
+        assert!(matches!(
+            m.validate(&p, &a),
+            Err(MappingError::FactorProduct { dim: 1, product: 4, bound: 8 })
+        ));
+    }
+
+    #[test]
+    fn fanout_violation_detected() {
+        let (p, a) = setup();
+        let mut m = Mapping::trivial(&p, &a);
+        m.levels_mut()[0].temporal[1] = 1;
+        m.levels_mut()[2].spatial[1] = 8; // 8 > 4 ALUs
+        assert!(matches!(
+            m.validate(&p, &a),
+            Err(MappingError::FanoutExceeded { level: 2, used: 8, fanout: 4 })
+        ));
+    }
+
+    #[test]
+    fn capacity_violation_detected_and_repaired() {
+        let (p, a) = setup();
+        let mut m = Mapping::trivial(&p, &a);
+        // Put everything inside the 128-word local buffer: way over.
+        for dim in 0..7 {
+            m.levels_mut()[2].temporal[dim] = p.bound(dim);
+            m.levels_mut()[0].temporal[dim] = 1;
+        }
+        assert!(matches!(
+            m.validate(&p, &a),
+            Err(MappingError::CapacityExceeded { level: 2, .. })
+        ));
+        assert!(m.repair_capacity(&p, &a));
+        m.validate(&p, &a).unwrap();
+    }
+
+    #[test]
+    fn nest_orders_levels_outermost_first() {
+        let (p, a) = setup();
+        let m = Mapping::trivial(&p, &a);
+        let nest = m.nest();
+        assert!(nest.windows(2).all(|w| w[0].level <= w[1].level));
+        assert_eq!(nest.iter().filter(|l| l.spatial).count(), 0);
+    }
+
+    #[test]
+    fn scale_to_same_problem_round_trips_shape() {
+        let (p, a) = setup();
+        let mut m = Mapping::trivial(&p, &a);
+        m.levels_mut()[0].temporal[1] = 2;
+        m.levels_mut()[1].temporal[1] = 4;
+        m.levels_mut()[1].spatial[3] = 7;
+        m.levels_mut()[0].temporal[3] = 1;
+        m.validate(&p, &a).unwrap();
+        let s = m.scale_to(&p, &p, &a).unwrap();
+        s.validate(&p, &a).unwrap();
+        assert_eq!(s.levels()[1].spatial[3], 7);
+        assert_eq!(s.levels()[1].temporal[1], 4);
+    }
+
+    #[test]
+    fn scale_to_larger_problem_is_legal() {
+        let a = Arch::accel_b();
+        let from = Problem::conv2d("f", 4, 8, 8, 7, 7, 3, 3);
+        let to = Problem::conv2d("t", 4, 16, 8, 14, 14, 3, 3);
+        let mut m = Mapping::trivial(&from, &a);
+        m.levels_mut()[0].temporal[1] = 4;
+        m.levels_mut()[1].spatial[1] = 2;
+        m.validate(&from, &a).unwrap();
+        let s = m.scale_to(&from, &to, &a).unwrap();
+        s.validate(&to, &a).unwrap();
+    }
+
+    #[test]
+    fn scale_to_different_operator_is_legal() {
+        let a = Arch::accel_b();
+        let conv = Problem::conv2d("f", 4, 8, 8, 7, 7, 3, 3);
+        let gemm = Problem::gemm("g", 4, 64, 8, 32);
+        let m = Mapping::trivial(&conv, &a);
+        let s = m.scale_to(&conv, &gemm, &a).unwrap();
+        s.validate(&gemm, &a).unwrap();
+    }
+
+    #[test]
+    fn display_prints_nonunit_loops() {
+        let (p, a) = setup();
+        let m = Mapping::trivial(&p, &a);
+        let s = m.to_string();
+        assert!(s.contains("for d0 in 0..4"));
+        assert!(s.contains("--- L2 ---"));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = MappingError::FanoutExceeded { level: 1, used: 300, fanout: 256 };
+        assert!(e.to_string().contains("fanout"));
+        let e = MappingError::CapacityExceeded { level: 2, needed_words: 1e4, capacity_words: 128 };
+        assert!(e.to_string().contains("capacity"));
+    }
+}

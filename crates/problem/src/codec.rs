@@ -1,0 +1,155 @@
+//! Compact text codec for workloads, used to persist replay buffers and to
+//! pass workloads to the CLI without a serialization-format dependency.
+//!
+//! Format: `OP;name;D=bound,D=bound,...` — e.g.
+//! `CONV2D;Resnet Conv_3;B=16,K=128,C=128,Y=28,X=28,R=3,S=3`.
+
+use crate::{DimName, OperatorKind, Problem};
+use std::fmt;
+
+/// Error parsing a problem spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProblemError(String);
+
+impl fmt::Display for ParseProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid problem spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseProblemError {}
+
+fn dim_name(s: &str) -> Option<DimName> {
+    DimName::ALL.into_iter().find(|d| d.letter().to_string() == s)
+}
+
+/// Serializes a problem to its spec string.
+pub fn to_spec(p: &Problem) -> String {
+    let dims: Vec<String> = p.dims().iter().map(|d| format!("{}={}", d.name, d.bound)).collect();
+    format!("{};{};{}", p.op(), p.name(), dims.join(","))
+}
+
+/// Parses a spec string back into a [`Problem`].
+///
+/// The operator kind determines the expected dimension set; the canonical
+/// constructors rebuild the tensor projections.
+///
+/// # Errors
+///
+/// Returns an error on malformed syntax, unknown operators/dims, or a
+/// dimension set that does not match the operator.
+pub fn from_spec(spec: &str) -> Result<Problem, ParseProblemError> {
+    let err = |m: &str| ParseProblemError(format!("{m} in `{spec}`"));
+    let mut parts = spec.splitn(3, ';');
+    let op = parts.next().ok_or_else(|| err("missing operator"))?;
+    let name = parts.next().ok_or_else(|| err("missing name"))?.to_string();
+    let dims_str = parts.next().ok_or_else(|| err("missing dims"))?;
+    let mut bounds = std::collections::BTreeMap::new();
+    for tok in dims_str.split(',') {
+        let (d, b) = tok.split_once('=').ok_or_else(|| err("bad dim token"))?;
+        let dim = dim_name(d.trim()).ok_or_else(|| err("unknown dim"))?;
+        let bound: u64 = b.trim().parse().map_err(|_| err("bad bound"))?;
+        if bound == 0 {
+            return Err(err("zero bound"));
+        }
+        bounds.insert(dim, bound);
+    }
+    let get = |d: DimName| bounds.get(&d).copied().ok_or_else(|| err("missing dim"));
+    use DimName::*;
+    let p = match op {
+        "CONV2D" => Problem::conv2d(name, get(B)?, get(K)?, get(C)?, get(Y)?, get(X)?, get(R)?, get(S)?),
+        "PWCONV" => {
+            Problem::pointwise_conv2d(name, get(B)?, get(K)?, get(C)?, get(Y)?, get(X)?)
+        }
+        "DWCONV" => {
+            Problem::depthwise_conv2d(name, get(B)?, get(C)?, get(Y)?, get(X)?, get(R)?, get(S)?)
+        }
+        "GEMM" => Problem::gemm(name, get(B)?, get(M)?, get(K)?, get(N)?),
+        _ => return Err(err("unknown operator")),
+    };
+    Ok(p)
+}
+
+/// Whether two problems have identical operator kind and dimension bounds
+/// (ignoring the display name) — the signature used when re-attaching a
+/// persisted replay buffer.
+pub fn same_signature(a: &Problem, b: &Problem) -> bool {
+    a.op() == b.op() && a.dims() == b.dims()
+}
+
+impl OperatorKind {
+    /// Parses the operator tag used by the spec format.
+    pub fn from_tag(tag: &str) -> Option<OperatorKind> {
+        match tag {
+            "CONV2D" => Some(OperatorKind::Conv2d),
+            "PWCONV" => Some(OperatorKind::PointwiseConv2d),
+            "DWCONV" => Some(OperatorKind::DepthwiseConv2d),
+            "GEMM" => Some(OperatorKind::Gemm),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_operator() {
+        let cases = vec![
+            crate::zoo::resnet_conv3(),
+            crate::zoo::bert_kqv(),
+            Problem::pointwise_conv2d("pw", 2, 32, 16, 14, 14),
+            Problem::depthwise_conv2d("dw", 2, 32, 14, 14, 3, 3),
+        ];
+        for p in cases {
+            let spec = to_spec(&p);
+            let back = from_spec(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(p, back, "{spec}");
+        }
+    }
+
+    #[test]
+    fn spec_is_human_readable() {
+        let spec = to_spec(&crate::zoo::resnet_conv3());
+        assert_eq!(spec, "CONV2D;Resnet Conv_3;B=16,K=128,C=128,Y=28,X=28,R=3,S=3");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "CONV2D",
+            "CONV2D;x",
+            "CONV2D;x;B=16",                 // missing dims
+            "NOPE;x;B=1,M=1,K=1,N=1",        // unknown op
+            "GEMM;x;B=1,M=0,K=1,N=1",        // zero bound
+            "GEMM;x;B=1,M=a,K=1,N=1",        // bad bound
+            "GEMM;x;Q=1,M=1,K=1,N=1",        // unknown dim
+        ] {
+            assert!(from_spec(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn signature_ignores_name() {
+        let a = Problem::gemm("a", 2, 4, 4, 4);
+        let b = Problem::gemm("b", 2, 4, 4, 4);
+        let c = Problem::gemm("c", 2, 4, 8, 4);
+        assert!(same_signature(&a, &b));
+        assert!(!same_signature(&a, &c));
+    }
+
+    #[test]
+    fn operator_tags_round_trip() {
+        for op in [
+            OperatorKind::Conv2d,
+            OperatorKind::PointwiseConv2d,
+            OperatorKind::DepthwiseConv2d,
+            OperatorKind::Gemm,
+        ] {
+            assert_eq!(OperatorKind::from_tag(&op.to_string()), Some(op));
+        }
+        assert_eq!(OperatorKind::from_tag("???"), None);
+    }
+}

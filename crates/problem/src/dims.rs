@@ -1,0 +1,121 @@
+//! Iteration-space dimension names and definitions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Canonical name of an iteration dimension.
+///
+/// CONV2D uses `B, K, C, Y, X, R, S`; GEMM uses `B, M, K, N` (with `K` being
+/// the contracted dimension in both conventions). Names are carried for
+/// display, workload-similarity computation (warm-start), and constructing
+/// tensor projections; the core machinery works on dimension *indices*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DimName {
+    /// Batch.
+    B,
+    /// Output channels (CONV) / contracted dimension (GEMM).
+    K,
+    /// Input channels.
+    C,
+    /// Output rows.
+    Y,
+    /// Output columns.
+    X,
+    /// Filter rows.
+    R,
+    /// Filter columns.
+    S,
+    /// GEMM output rows.
+    M,
+    /// GEMM output columns.
+    N,
+}
+
+impl DimName {
+    /// All names, in canonical order.
+    pub const ALL: [DimName; 9] = [
+        DimName::B,
+        DimName::K,
+        DimName::C,
+        DimName::Y,
+        DimName::X,
+        DimName::R,
+        DimName::S,
+        DimName::M,
+        DimName::N,
+    ];
+
+    /// Single-letter label used in printed mappings (matches the paper's
+    /// notation, e.g. the "XB.." order buckets of Fig. 7).
+    pub fn letter(self) -> char {
+        match self {
+            DimName::B => 'B',
+            DimName::K => 'K',
+            DimName::C => 'C',
+            DimName::Y => 'Y',
+            DimName::X => 'X',
+            DimName::R => 'R',
+            DimName::S => 'S',
+            DimName::M => 'M',
+            DimName::N => 'N',
+        }
+    }
+}
+
+impl fmt::Display for DimName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// One iteration dimension of a [`crate::Problem`]: a name and a loop bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimDef {
+    /// Display/semantic name.
+    pub name: DimName,
+    /// Loop bound (full extent of the dimension). Always ≥ 1.
+    pub bound: u64,
+}
+
+impl DimDef {
+    /// Creates a dimension definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`; a zero-extent loop is not a valid workload.
+    pub fn new(name: DimName, bound: u64) -> Self {
+        assert!(bound >= 1, "dimension {name} must have bound >= 1");
+        DimDef { name, bound }
+    }
+}
+
+impl fmt::Display for DimDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for n in DimName::ALL {
+            assert!(seen.insert(n.letter()), "duplicate letter for {n:?}");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DimDef::new(DimName::K, 256).to_string(), "K=256");
+        assert_eq!(DimName::Y.to_string(), "Y");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound >= 1")]
+    fn zero_bound_rejected() {
+        DimDef::new(DimName::B, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Tensor projections: how iteration-space tiles map to data-space footprints.
+
+use serde::{Deserialize, Serialize};
+
+/// One coordinate of a tensor's data space, expressed over iteration dims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProjTerm {
+    /// The coordinate equals one iteration dimension (by index into the
+    /// problem's dimension list). A tile of extent `t` in that dimension
+    /// touches `t` points of this coordinate.
+    Single(usize),
+    /// A sliding-window coordinate `base + window` (stride 1), as in the
+    /// input tensor of a convolution where the input row is `y + r`. A tile
+    /// of extents `(ty, tr)` touches `ty + tr - 1` points.
+    Window {
+        /// The sliding (output) dimension index.
+        base: usize,
+        /// The window (filter) dimension index.
+        window: usize,
+    },
+}
+
+impl ProjTerm {
+    /// Number of data points this coordinate spans for the given per-dim tile
+    /// extents (`tile[d]` = extent of dim `d` in the tile).
+    pub fn extent(&self, tile: &[u64]) -> u64 {
+        match *self {
+            ProjTerm::Single(d) => tile[d],
+            ProjTerm::Window { base, window } => tile[base] + tile[window] - 1,
+        }
+    }
+
+    /// Iteration dimensions referenced by this coordinate.
+    pub fn dims(&self) -> impl Iterator<Item = usize> {
+        let (a, b) = match *self {
+            ProjTerm::Single(d) => (d, None),
+            ProjTerm::Window { base, window } => (base, Some(window)),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
+/// A full projection: the ordered list of data-space coordinates of a tensor.
+///
+/// The data-space footprint of an iteration-space tile is the product of the
+/// per-coordinate extents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Projection {
+    terms: Vec<ProjTerm>,
+}
+
+impl Projection {
+    /// Creates a projection from its coordinate terms.
+    pub fn new(terms: Vec<ProjTerm>) -> Self {
+        Projection { terms }
+    }
+
+    /// The coordinate terms.
+    pub fn terms(&self) -> &[ProjTerm] {
+        &self.terms
+    }
+
+    /// Data-space footprint (number of elements) of a tile with the given
+    /// per-dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is shorter than the largest referenced dim index.
+    pub fn footprint(&self, tile: &[u64]) -> u64 {
+        self.terms.iter().map(|t| t.extent(tile)).product()
+    }
+
+    /// Same as [`Projection::footprint`] but in `f64`, for very large tiles
+    /// where the product may overflow `u64` (e.g. whole-tensor DRAM
+    /// footprints of batch GEMMs).
+    pub fn footprint_f64(&self, tile: &[u64]) -> f64 {
+        self.terms.iter().map(|t| t.extent(tile) as f64).product()
+    }
+
+    /// Sorted, deduplicated list of iteration dimensions this tensor depends
+    /// on. A loop over any *other* dimension reuses the tensor's data.
+    pub fn relevant_dims(&self) -> Vec<usize> {
+        let mut dims: Vec<usize> = self.terms.iter().flat_map(|t| t.dims()).collect();
+        dims.sort_unstable();
+        dims.dedup();
+        dims
+    }
+
+    /// Whether iterating dimension `d` changes which data this tensor's tile
+    /// covers.
+    pub fn depends_on(&self, d: usize) -> bool {
+        self.terms.iter().any(|t| t.dims().any(|x| x == d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_input() -> Projection {
+        // Input[B, C, Y+R, X+S] with dim order (B,K,C,Y,X,R,S) = (0..7)
+        Projection::new(vec![
+            ProjTerm::Single(0),
+            ProjTerm::Single(2),
+            ProjTerm::Window { base: 3, window: 5 },
+            ProjTerm::Window { base: 4, window: 6 },
+        ])
+    }
+
+    #[test]
+    fn window_extent_is_halo_inclusive() {
+        let tile = [2, 9, 4, 7, 7, 3, 3]; // B=2, C=4, Y=7,R=3 -> 9 rows
+        assert_eq!(conv_input().footprint(&tile), 2 * 4 * 9 * 9);
+    }
+
+    #[test]
+    fn unit_tile_footprint_is_one() {
+        let tile = [1u64; 7];
+        assert_eq!(conv_input().footprint(&tile), 1);
+    }
+
+    #[test]
+    fn relevant_dims_sorted_unique() {
+        assert_eq!(conv_input().relevant_dims(), vec![0, 2, 3, 4, 5, 6]);
+        assert!(conv_input().depends_on(5));
+        assert!(!conv_input().depends_on(1));
+    }
+
+    #[test]
+    fn f64_footprint_matches_u64_when_small() {
+        let tile = [2, 9, 4, 7, 7, 3, 3];
+        let p = conv_input();
+        assert_eq!(p.footprint(&tile) as f64, p.footprint_f64(&tile));
+    }
+}

@@ -1,0 +1,281 @@
+//! Model zoo: per-layer workloads for the DNN models evaluated in the paper
+//! (§4.1): ResNet, VGG16, MnasNet, MobileNetV2, and BERT-large, plus the
+//! individually named workloads of Table 1.
+//!
+//! Layer shapes follow the published model definitions with batch size 16
+//! (the batch used throughout the paper's Table 1). Strided layers are
+//! represented by their output spatial sizes (the cost model assumes stride
+//! 1 inside a tile; the halo approximation is second-order for the mapping
+//! comparisons the paper makes).
+
+use crate::{Problem, };
+
+/// Batch size used by all zoo workloads (paper Table 1).
+pub const BATCH: u64 = 16;
+
+/// `Resnet Conv_3` from Table 1: `(B,K,C,Y,X,R,S) = (16,128,128,28,28,3,3)`.
+pub fn resnet_conv3() -> Problem {
+    Problem::conv2d("Resnet Conv_3", BATCH, 128, 128, 28, 28, 3, 3)
+}
+
+/// `Resnet Conv_4` from Table 1: `(16,256,256,14,14,3,3)`.
+pub fn resnet_conv4() -> Problem {
+    Problem::conv2d("Resnet Conv_4", BATCH, 256, 256, 14, 14, 3, 3)
+}
+
+/// `Inception Conv_2` from Table 1: `(16,192,192,27,27,5,5)`.
+pub fn inception_conv2() -> Problem {
+    Problem::conv2d("Inception Conv_2", BATCH, 192, 192, 27, 27, 5, 5)
+}
+
+/// `Bert-large KQV` from Table 1: `(B,M,K,N) = (16,1024,1024,512)` — the
+/// key/query/value projections.
+pub fn bert_kqv() -> Problem {
+    Problem::gemm("Bert-large KQV", BATCH, 1024, 1024, 512)
+}
+
+/// `Bert-large Attn`: the attention score operation, heads folded into the
+/// batch (16 heads × head-dim 64, sequence length 512).
+pub fn bert_attn() -> Problem {
+    Problem::gemm("Bert-large Attn", BATCH, 512, 64, 512)
+}
+
+/// `Bert-large FC`: the feed-forward expansion at the end of each attention
+/// block (hidden 1024 → 4096 over a 512-token sequence).
+pub fn bert_fc() -> Problem {
+    Problem::gemm("Bert-large FC", BATCH, 4096, 1024, 512)
+}
+
+/// The 13 convolution layers of VGG16 (batch 16). VGG is the paper's example
+/// of a highly *regular* hand-designed network: consecutive layers share most
+/// dimensions, which is what makes warm-start-by-previous-layer work well.
+pub fn vgg16() -> Vec<Problem> {
+    let spec: &[(u64, u64, u64)] = &[
+        // (K, C, spatial) per conv layer
+        (64, 3, 224),
+        (64, 64, 224),
+        (128, 64, 112),
+        (128, 128, 112),
+        (256, 128, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (512, 256, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+    ];
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(k, c, hw))| {
+            Problem::conv2d(format!("VGG16 Conv_{}", i + 1), BATCH, k, c, hw, hw, 3, 3)
+        })
+        .collect()
+}
+
+/// Unique convolution layers of ResNet-50 (batch 16), one per distinct shape
+/// in network order. Repeated residual blocks are deduplicated, matching how
+/// MSE papers count per-layer search problems.
+pub fn resnet50() -> Vec<Problem> {
+    let mut layers = Vec::new();
+    let mut push = |name: String, k: u64, c: u64, hw: u64, r: u64| {
+        layers.push(Problem::conv2d(name, BATCH, k, c, hw, hw, r, r));
+    };
+    push("Resnet50 Conv1".into(), 64, 3, 112, 7);
+    // Stage conv2_x (56x56): 1x1/64, 3x3/64, 1x1/256
+    push("Resnet50 Conv2_a".into(), 64, 64, 56, 1);
+    push("Resnet50 Conv2_b".into(), 64, 64, 56, 3);
+    push("Resnet50 Conv2_c".into(), 256, 64, 56, 1);
+    push("Resnet50 Conv2_d".into(), 64, 256, 56, 1);
+    // Stage conv3_x (28x28): 1x1/128, 3x3/128, 1x1/512
+    push("Resnet50 Conv3_a".into(), 128, 256, 28, 1);
+    push("Resnet50 Conv3_b".into(), 128, 128, 28, 3);
+    push("Resnet50 Conv3_c".into(), 512, 128, 28, 1);
+    push("Resnet50 Conv3_d".into(), 128, 512, 28, 1);
+    // Stage conv4_x (14x14): 1x1/256, 3x3/256, 1x1/1024
+    push("Resnet50 Conv4_a".into(), 256, 512, 14, 1);
+    push("Resnet50 Conv4_b".into(), 256, 256, 14, 3);
+    push("Resnet50 Conv4_c".into(), 1024, 256, 14, 1);
+    push("Resnet50 Conv4_d".into(), 256, 1024, 14, 1);
+    // Stage conv5_x (7x7): 1x1/512, 3x3/512, 1x1/2048
+    push("Resnet50 Conv5_a".into(), 512, 1024, 7, 1);
+    push("Resnet50 Conv5_b".into(), 512, 512, 7, 3);
+    push("Resnet50 Conv5_c".into(), 2048, 512, 7, 1);
+    push("Resnet50 Conv5_d".into(), 512, 2048, 7, 1);
+    layers
+}
+
+/// Representative inverted-residual layers of MobileNetV2 (batch 16):
+/// pointwise expansion, depthwise filter, pointwise projection per stage.
+pub fn mobilenet_v2() -> Vec<Problem> {
+    let mut layers = Vec::new();
+    layers.push(Problem::conv2d("MobilenetV2 Conv1", BATCH, 32, 3, 112, 112, 3, 3));
+    // (c_in, expansion, c_out, spatial) per representative bottleneck
+    let blocks: &[(u64, u64, u64, u64)] = &[
+        (16, 6, 24, 56),
+        (24, 6, 32, 28),
+        (32, 6, 64, 14),
+        (64, 6, 96, 14),
+        (96, 6, 160, 7),
+        (160, 6, 320, 7),
+    ];
+    for (i, &(cin, e, cout, hw)) in blocks.iter().enumerate() {
+        let hidden = cin * e;
+        layers.push(Problem::pointwise_conv2d(
+            format!("MobilenetV2 B{}_expand", i + 1),
+            BATCH,
+            hidden,
+            cin,
+            hw,
+            hw,
+        ));
+        layers.push(Problem::depthwise_conv2d(
+            format!("MobilenetV2 B{}_dw", i + 1),
+            BATCH,
+            hidden,
+            hw,
+            hw,
+            3,
+            3,
+        ));
+        layers.push(Problem::pointwise_conv2d(
+            format!("MobilenetV2 B{}_project", i + 1),
+            BATCH,
+            cout,
+            hidden,
+            hw,
+            hw,
+        ));
+    }
+    layers.push(Problem::pointwise_conv2d("MobilenetV2 Head", BATCH, 1280, 320, 7, 7));
+    layers
+}
+
+/// Representative layers of MnasNet-A1 (batch 16). MnasNet comes from neural
+/// architecture search and has *irregular* channel counts (24, 40, 80, 112,
+/// 160, ...) and mixed 3x3/5x5 depthwise kernels — the paper's example of a
+/// network where warm-start-by-similarity beats warm-start-by-previous-layer
+/// (Fig. 9) and warm-start speedups are smallest (Fig. 11).
+pub fn mnasnet() -> Vec<Problem> {
+    let mut layers = Vec::new();
+    layers.push(Problem::conv2d("Mnasnet Conv1", BATCH, 32, 3, 112, 112, 3, 3));
+    // (c_in, expansion, c_out, kernel, spatial)
+    let blocks: &[(u64, u64, u64, u64, u64)] = &[
+        (16, 6, 24, 3, 56),
+        (24, 3, 40, 5, 28),
+        (40, 6, 80, 3, 14),
+        (80, 6, 112, 3, 14),
+        (112, 6, 160, 5, 7),
+        (160, 6, 320, 3, 7),
+    ];
+    for (i, &(cin, e, cout, ker, hw)) in blocks.iter().enumerate() {
+        let hidden = cin * e;
+        layers.push(Problem::pointwise_conv2d(
+            format!("Mnasnet B{}_expand", i + 1),
+            BATCH,
+            hidden,
+            cin,
+            hw,
+            hw,
+        ));
+        layers.push(Problem::depthwise_conv2d(
+            format!("Mnasnet B{}_dw", i + 1),
+            BATCH,
+            hidden,
+            hw,
+            hw,
+            ker,
+            ker,
+        ));
+        layers.push(Problem::pointwise_conv2d(
+            format!("Mnasnet B{}_project", i + 1),
+            BATCH,
+            cout,
+            hidden,
+            hw,
+            hw,
+        ));
+    }
+    layers
+}
+
+/// The BERT-large operator set used in Table 3.
+pub fn bert_large() -> Vec<Problem> {
+    vec![bert_kqv(), bert_attn(), bert_fc()]
+}
+
+/// Every zoo model keyed by name, for CLI harnesses.
+pub fn model(name: &str) -> Option<Vec<Problem>> {
+    match name {
+        "vgg16" => Some(vgg16()),
+        "resnet50" => Some(resnet50()),
+        "mobilenet_v2" => Some(mobilenet_v2()),
+        "mnasnet" => Some(mnasnet()),
+        "bert_large" => Some(bert_large()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DimName;
+
+    #[test]
+    fn table1_shapes_match_paper() {
+        let p = resnet_conv3();
+        assert_eq!(p.bounds(), vec![16, 128, 128, 28, 28, 3, 3]);
+        let p = resnet_conv4();
+        assert_eq!(p.bounds(), vec![16, 256, 256, 14, 14, 3, 3]);
+        let p = inception_conv2();
+        assert_eq!(p.bounds(), vec![16, 192, 192, 27, 27, 5, 5]);
+        let p = bert_kqv();
+        assert_eq!(p.bounds(), vec![16, 1024, 1024, 512]);
+    }
+
+    #[test]
+    fn vgg16_has_13_convs_and_is_regular() {
+        let layers = vgg16();
+        assert_eq!(layers.len(), 13);
+        // Consecutive VGG layers differ in at most 3 dims (paper: regular;
+        // stage transitions change K plus the two spatial dims).
+        for w in layers.windows(2) {
+            assert!(w[0].edit_distance(&w[1]) <= 3, "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn mnasnet_is_more_irregular_than_vgg() {
+        let v = vgg16();
+        let m = mnasnet();
+        let avg = |ls: &[Problem]| {
+            ls.windows(2).map(|w| w[0].edit_distance(&w[1]) as f64).sum::<f64>()
+                / (ls.len() - 1) as f64
+        };
+        assert!(avg(&m) > avg(&v), "mnasnet {} <= vgg {}", avg(&m), avg(&v));
+    }
+
+    #[test]
+    fn resnet50_layer_count_and_bounds_positive() {
+        let layers = resnet50();
+        assert_eq!(layers.len(), 17);
+        for l in &layers {
+            assert!(l.total_macs() > 0);
+        }
+    }
+
+    #[test]
+    fn mobilenet_alternates_pointwise_depthwise() {
+        let layers = mobilenet_v2();
+        assert!(layers.iter().any(|l| l.dim_index(DimName::K).is_none()));
+        assert!(layers.len() > 15);
+    }
+
+    #[test]
+    fn model_lookup() {
+        assert!(model("vgg16").is_some());
+        assert!(model("bert_large").unwrap().len() == 3);
+        assert!(model("nope").is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Gradient-based map-space search (Mind Mappings, §4.3) and its
+//! neural-network substrate.
+//!
+//! Contains a from-scratch MLP with backpropagation and Adam ([`Mlp`]), a
+//! differentiable [`Surrogate`] cost model trained on samples from the
+//! analytical cost model, and the [`MindMappings`] mapper that performs
+//! gradient descent on the surrogate with projection back onto the legal
+//! map space.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use surrogate::{MindMappings, Surrogate, TrainConfig};
+//! use costmodel::DenseModel;
+//! use mappers::{Budget, EdpEvaluator, Mapper};
+//! use mapping::MapSpace;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! let p = problem::zoo::resnet_conv4();
+//! let a = arch::Arch::accel_a();
+//! let model = DenseModel::new(p.clone(), a.clone());
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let (sur, report) = Surrogate::train(&[&model], &TrainConfig::default(), &mut rng);
+//! println!("holdout MSE: {}", report.holdout_mse);
+//! let space = MapSpace::new(p, a);
+//! let result = MindMappings::new(Arc::new(sur))
+//!     .search(&space, &EdpEvaluator::new(&model), Budget::samples(5_000), &mut rng);
+//! ```
+
+mod mind_mappings;
+mod model;
+mod nn;
+
+pub use mind_mappings::{MindMappings, MindMappingsConfig};
+pub use model::{Surrogate, TrainConfig, TrainReport};
+pub use nn::Mlp;

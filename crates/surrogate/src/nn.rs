@@ -1,0 +1,334 @@
+//! A small from-scratch multilayer perceptron with backpropagation and
+//! Adam — the substrate for the Mind-Mappings-style differentiable
+//! surrogate (§4.3: "trains a neural-network-based surrogate model ... uses
+//! the loss gradient to update its solution").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One fully connected layer with its Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs × inputs`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        // He initialization (ReLU activations).
+        let scale = (2.0 / inputs as f64).sqrt();
+        let w = (0..inputs * outputs).map(|_| rng.gen_range(-1.0..1.0) * scale).collect();
+        Dense {
+            inputs,
+            outputs,
+            w,
+            b: vec![0.0; outputs],
+            gw: vec![0.0; inputs * outputs],
+            gb: vec![0.0; outputs],
+            mw: vec![0.0; inputs * outputs],
+            vw: vec![0.0; inputs * outputs],
+            mb: vec![0.0; outputs],
+            vb: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Backprop through this layer: accumulates parameter gradients and
+    /// returns the gradient w.r.t. the input.
+    fn backward(&mut self, x: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            let g = grad_out[o];
+            self.gb[o] += g;
+            let row = o * self.inputs;
+            for i in 0..self.inputs {
+                self.gw[row + i] += g * x[i];
+                grad_in[i] += g * self.w[row + i];
+            }
+        }
+        grad_in
+    }
+
+    /// Input gradient only (inference-time; parameters untouched).
+    fn input_grad(&self, grad_out: &[f64]) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            let g = grad_out[o];
+            let row = o * self.inputs;
+            for i in 0..self.inputs {
+                grad_in[i] += g * self.w[row + i];
+            }
+        }
+        grad_in
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn adam_step(&mut self, lr: f64, t: usize, batch: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.len() {
+            let g = self.gw[i] / batch;
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * g;
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * g * g;
+            self.w[i] -= lr * (self.mw[i] / bc1) / ((self.vw[i] / bc2).sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            let g = self.gb[i] / batch;
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * g;
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * g * g;
+            self.b[i] -= lr * (self.mb[i] / bc1) / ((self.vb[i] / bc2).sqrt() + EPS);
+        }
+    }
+}
+
+/// A multilayer perceptron with ReLU hidden activations and a linear
+/// output layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes (`sizes[0]` inputs,
+    /// `sizes.last()` outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_len(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Output dimensionality.
+    pub fn output_len(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, l) in self.layers.iter().enumerate() {
+            l.forward(&cur, &mut next);
+            if li != last {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Forward pass keeping the per-layer inputs (pre-activation inputs to
+    /// each layer) for backprop.
+    fn forward_cached(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, l) in self.layers.iter().enumerate() {
+            inputs.push(cur.clone());
+            l.forward(&cur, &mut next);
+            if li != last {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        (inputs, cur)
+    }
+
+    /// One training example of squared-error loss `0.5 * Σ (out - y)²`:
+    /// accumulates parameter gradients and returns the loss.
+    pub fn accumulate_grad(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        let (inputs, out) = self.forward_cached(x);
+        let mut grad: Vec<f64> = out.iter().zip(y).map(|(o, t)| o - t).collect();
+        let loss = 0.5 * grad.iter().map(|g| g * g).sum::<f64>();
+        for li in (0..self.layers.len()).rev() {
+            // ReLU derivative for hidden layers: gate by the *post*
+            // activation, which equals the next layer's cached input.
+            if li != self.layers.len() - 1 {
+                let post = &inputs[li + 1];
+                for (g, &p) in grad.iter_mut().zip(post) {
+                    if p <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grad = self.layers[li].backward(&inputs[li], &grad);
+        }
+        loss
+    }
+
+    /// Gradient of `Σ weights·outputs` w.r.t. the *input* vector, without
+    /// touching parameters — the core of gradient-based mapping search.
+    pub fn input_gradient(&self, x: &[f64], output_weights: &[f64]) -> Vec<f64> {
+        let (inputs, _) = self.forward_cached(x);
+        let mut grad = output_weights.to_vec();
+        for li in (0..self.layers.len()).rev() {
+            if li != self.layers.len() - 1 {
+                let post = &inputs[li + 1];
+                for (g, &p) in grad.iter_mut().zip(post) {
+                    if p <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grad = self.layers[li].input_grad(&grad);
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Applies one Adam update using the accumulated gradients (averaged
+    /// over `batch` examples) at optimizer step `t` (1-based).
+    pub fn adam_step(&mut self, lr: f64, t: usize, batch: usize) {
+        for l in &mut self.layers {
+            l.adam_step(lr, t, batch as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[4, 8, 2], &mut rng);
+        assert_eq!(mlp.input_len(), 4);
+        assert_eq!(mlp.output_len(), 2);
+        assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(mlp.forward(&[0.0; 4]).len(), 2);
+    }
+
+    #[test]
+    fn parameter_gradient_matches_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[3, 5, 2], &mut rng);
+        let x = [0.3, -0.7, 1.1];
+        let y = [0.5, -0.2];
+        mlp.zero_grad();
+        mlp.accumulate_grad(&x, &y);
+        // Check a handful of weights in each layer numerically.
+        let eps = 1e-6;
+        for li in 0..mlp.layers.len() {
+            for wi in [0usize, 1, 3] {
+                let analytic = mlp.layers[li].gw[wi];
+                let orig = mlp.layers[li].w[wi];
+                mlp.layers[li].w[wi] = orig + eps;
+                let out = mlp.forward(&x);
+                let lp: f64 = 0.5 * out.iter().zip(&y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>();
+                mlp.layers[li].w[wi] = orig - eps;
+                let out = mlp.forward(&x);
+                let lm: f64 = 0.5 * out.iter().zip(&y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>();
+                mlp.layers[li].w[wi] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "layer {li} w{wi}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[3, 6, 1], &mut rng);
+        let x = [0.4, 0.9, -0.3];
+        let g = mlp.input_gradient(&x, &[1.0]);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let numeric = (mlp.forward(&xp)[0] - mlp.forward(&xm)[0]) / (2.0 * eps);
+            assert!((g[i] - numeric).abs() < 1e-5, "input {i}: {} vs {numeric}", g[i]);
+        }
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
+        let target = |x: &[f64]| 2.0 * x[0] - 1.5 * x[1] + 0.3;
+        let data: Vec<[f64; 2]> = (0..200)
+            .map(|_| [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let mut t = 0;
+        for _epoch in 0..300 {
+            mlp.zero_grad();
+            let mut loss = 0.0;
+            for x in &data {
+                loss += mlp.accumulate_grad(x, &[target(x)]);
+            }
+            t += 1;
+            mlp.adam_step(1e-2, t, data.len());
+            if loss / (data.len() as f64) < 1e-5 {
+                break;
+            }
+        }
+        let mse: f64 = data
+            .iter()
+            .map(|x| {
+                let e = mlp.forward(x)[0] - target(x);
+                e * e
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(mse < 2e-2, "MSE {mse} too high");
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: map one ResNet layer onto the paper's Accel-B and print the
+//! optimized loop nest and its cost.
+//!
+//! ```sh
+//! cargo run --release -p mapex-examples --bin quickstart
+//! ```
+
+use costmodel::{CostModel, DenseModel};
+use mappers::{Budget, Gamma};
+use mse::Mse;
+
+fn main() {
+    // 1. Pick a workload (Table 1's Resnet Conv_4) and an accelerator.
+    let workload = problem::zoo::resnet_conv4();
+    let accel = arch::Arch::accel_b();
+    println!("workload: {workload}");
+    println!("{accel}");
+
+    // 2. Bind the analytical cost model and run the Gamma mapper.
+    let model = DenseModel::new(workload.clone(), accel.clone());
+    let mse = Mse::new(&model);
+    let result = mse.run(&Gamma::new(), Budget::samples(2_000), 42);
+
+    // 3. Inspect the result.
+    let (best, cost) = result.best.expect("the map space is never empty");
+    println!("evaluated {} mappings in {:.2?}", result.evaluated, result.elapsed);
+    println!("best cost: {cost}");
+    println!("Pareto frontier holds {} (latency, energy) points", result.pareto.len());
+    println!();
+    println!("optimized mapping (outermost level first):");
+    print!("{best}");
+
+    // 4. The detailed breakdown shows where the traffic goes.
+    let b = model.evaluate_detailed(&best).expect("best mapping is legal");
+    println!();
+    println!("per-level traffic (words):");
+    for (i, t) in b.per_level.iter().enumerate() {
+        println!(
+            "  L{i} {:<13} reads {:>12.3e}  writes {:>12.3e}",
+            accel.level(i).name,
+            t.reads,
+            t.writes
+        );
+    }
+    println!("compute: {:.3e} MACs on {} lanes", b.macs, b.lanes);
+}

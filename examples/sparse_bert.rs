@@ -1,0 +1,82 @@
+//! Sparse BERT deployment: choose inner- vs outer-product dataflow per
+//! weight-density level for the BERT-large GEMMs on a flexible sparse
+//! accelerator, and find one sparsity-aware mapping for dynamic activation
+//! sparsity (§4.5 + §5.2 in one flow).
+//!
+//! ```sh
+//! cargo run --release -p mapex-examples --bin sparse_bert
+//! ```
+
+use arch::SparseCaps;
+use costmodel::style::{classify, order_reduction_innermost, order_reduction_outermost};
+use costmodel::SparseModel;
+use mappers::{Budget, EdpEvaluator, Evaluator, Gamma, GammaConfig};
+use mse::{density_sweep, Mse, SparsityAwareEvaluator, DEFAULT_SEARCH_DENSITIES};
+use mapping::Mapping;
+use problem::Density;
+
+/// Pins a loop order during search (see §4.5.3: style is an order property).
+struct Pinned<'a> {
+    inner: EdpEvaluator<'a>,
+    order: Vec<usize>,
+}
+
+impl Evaluator for Pinned<'_> {
+    fn evaluate(&self, m: &Mapping) -> Option<(costmodel::Cost, f64)> {
+        let mut forced = m.clone();
+        let innermost = forced.num_levels() - 1;
+        costmodel::style::force_order_at_level(&mut forced, innermost, &self.order);
+        self.inner.evaluate(&forced)
+    }
+}
+
+fn main() {
+    let caps = SparseCaps::flexible();
+    let arch = arch::Arch::accel_b();
+    let workload = problem::zoo::bert_kqv();
+    println!("workload: {workload}");
+
+    println!();
+    println!("--- style selection per weight density (Table 3 flow) ---");
+    println!("{:>8} {:>14} {:>14} {:>10}", "density", "inner EDP", "outer EDP", "winner");
+    for dw in [1.0, 0.5, 0.1, 0.01] {
+        let model = SparseModel::new(
+            workload.clone(),
+            arch.clone(),
+            caps,
+            Density::weight_sparse(dw),
+        );
+        let mse = Mse::new(&model);
+        let gamma = Gamma::with_config(GammaConfig::default());
+        let mut scores = Vec::new();
+        for order in
+            [order_reduction_innermost(&workload), order_reduction_outermost(&workload)]
+        {
+            let eval = Pinned { inner: EdpEvaluator::new(&model), order };
+            let r = mse.run_with_evaluator(&gamma, &eval, Budget::samples(1_000), 1);
+            scores.push(r.best_score);
+        }
+        let winner = if scores[0] <= scores[1] { "inner" } else { "outer" };
+        println!("{dw:>8} {:>14.3e} {:>14.3e} {winner:>10}", scores[0], scores[1]);
+    }
+
+    println!();
+    println!("--- one mapping for dynamic activation sparsity (§5.2 flow) ---");
+    let model = SparseModel::new(workload.clone(), arch.clone(), caps, Density::DENSE);
+    let mse = Mse::new(&model);
+    let aware = SparsityAwareEvaluator::new(
+        workload.clone(),
+        arch.clone(),
+        caps,
+        &DEFAULT_SEARCH_DENSITIES,
+    );
+    let r = mse.run_with_evaluator(&Gamma::new(), &aware, Budget::samples(2_000), 2);
+    let best = r.best.expect("found a mapping").0;
+    println!(
+        "found one fixed {:?}-style mapping; EDP across activation densities:",
+        classify(&workload, &best)
+    );
+    for (d, edp) in density_sweep(&workload, &arch, caps, &best, &[1.0, 0.5, 0.2, 0.1, 0.05]) {
+        println!("  density {d:>5}: {edp:.3e} cycles*uJ");
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: the full stack (workload → map space → cost
+//! model → mapper → MSE driver) on the paper's Table 1 workloads.
+
+use arch::Arch;
+use costmodel::{CostModel, DenseModel};
+use mappers::{Budget, Gamma, Mapper, RandomMapper, RandomPruned, SimulatedAnnealing};
+use mse::Mse;
+
+#[test]
+fn paper_workloads_search_end_to_end() {
+    for w in [problem::zoo::resnet_conv3(), problem::zoo::bert_kqv()] {
+        for a in [Arch::accel_a(), Arch::accel_b()] {
+            let model = DenseModel::new(w.clone(), a.clone());
+            let mse = Mse::new(&model);
+            let r = mse.run(&Gamma::new(), Budget::samples(400), 1);
+            let (best, cost) = r.best.unwrap_or_else(|| panic!("no mapping for {w} on {}", a.name()));
+            assert!(best.is_legal(&w, &a));
+            assert!(cost.edp().is_finite() && cost.edp() > 0.0);
+            // The reported cost is exactly the model's evaluation.
+            let re = model.evaluate(&best).expect("legal");
+            assert_eq!(re, cost);
+        }
+    }
+}
+
+#[test]
+fn search_is_deterministic_across_all_mappers() {
+    let w = problem::zoo::resnet_conv4();
+    let a = Arch::accel_b();
+    let model = DenseModel::new(w, a);
+    let mse = Mse::new(&model);
+    let mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(RandomMapper::new()),
+        Box::new(RandomPruned::new()),
+        Box::new(Gamma::new()),
+        Box::new(SimulatedAnnealing::new()),
+    ];
+    for mapper in &mappers {
+        let a = mse.run(mapper.as_ref(), Budget::samples(200), 99);
+        let b = mse.run(mapper.as_ref(), Budget::samples(200), 99);
+        assert_eq!(a.best_score, b.best_score, "{} not deterministic", mapper.name());
+        assert_eq!(a.evaluated, b.evaluated);
+    }
+}
+
+#[test]
+fn gamma_dominates_random_on_paper_workload() {
+    // The qualitative Fig. 3 ordering must hold at a modest budget.
+    let w = problem::zoo::resnet_conv4();
+    let a = Arch::accel_b();
+    let model = DenseModel::new(w, a);
+    let mse = Mse::new(&model);
+    let mut gamma_wins = 0;
+    for seed in 0..5 {
+        let g = mse.run(&Gamma::new(), Budget::samples(1_000), seed);
+        let r = mse.run(&RandomMapper::new(), Budget::samples(1_000), seed);
+        if g.best_score <= r.best_score {
+            gamma_wins += 1;
+        }
+    }
+    assert!(gamma_wins >= 4, "gamma won only {gamma_wins}/5");
+}
+
+#[test]
+fn good_and_bad_mappings_differ_by_orders_of_magnitude() {
+    // §4.4: "performance difference of two mappings for the same problem
+    // can be as large as 3 orders of magnitude".
+    let w = problem::zoo::resnet_conv4();
+    let a = Arch::accel_b();
+    let model = DenseModel::new(w.clone(), a.clone());
+    let mse = Mse::new(&model);
+    let best = mse.run(&Gamma::new(), Budget::samples(2_000), 3).best_score;
+    // Worst random sample out of a few hundred.
+    let space = mse.space();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    let worst = (0..300)
+        .filter_map(|_| model.evaluate(&space.random(&mut rng)).ok())
+        .map(|c| c.edp())
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst / best > 100.0,
+        "good/bad spread only {:.1}x (best {best:.3e}, worst {worst:.3e})",
+        worst / best
+    );
+}
+
+#[test]
+fn every_operator_kind_is_searchable() {
+    let a = Arch::accel_b();
+    let workloads = vec![
+        problem::Problem::conv2d("conv", 2, 16, 16, 14, 14, 3, 3),
+        problem::Problem::pointwise_conv2d("pw", 2, 32, 16, 14, 14),
+        problem::Problem::depthwise_conv2d("dw", 2, 32, 14, 14, 3, 3),
+        problem::Problem::gemm("gemm", 2, 64, 32, 64),
+    ];
+    for w in workloads {
+        let model = DenseModel::new(w.clone(), a.clone());
+        let mse = Mse::new(&model);
+        let r = mse.run(&Gamma::new(), Budget::samples(300), 0);
+        let (best, _) = r.best.unwrap_or_else(|| panic!("no mapping for {w}"));
+        assert!(best.is_legal(&w, &a));
+    }
+}
+
+#[test]
+fn pareto_frontier_contains_distinct_tradeoffs() {
+    let w = problem::zoo::resnet_conv3();
+    let a = Arch::accel_b();
+    let model = DenseModel::new(w, a);
+    let mse = Mse::new(&model);
+    let r = mse.run(&Gamma::new(), Budget::samples(2_000), 5);
+    assert!(!r.pareto.is_empty());
+    // The best-EDP solution sits on the frontier.
+    let frontier_best = r.pareto.iter().map(|(_, c)| c.edp()).fold(f64::INFINITY, f64::min);
+    assert!((frontier_best - r.best_score).abs() <= r.best_score * 1e-12);
+    // Frontier sorted by latency must have non-increasing energy.
+    let mut pts: Vec<_> =
+        r.pareto.iter().map(|(_, c)| (c.latency_cycles, c.energy_uj)).collect();
+    pts.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    for w in pts.windows(2) {
+        assert!(w[0].1 >= w[1].1, "frontier not monotone: {w:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! The cost model and map space must generalize to hierarchies other than
+//! the paper's 3-level presets (Timeloop supports arbitrary depths — "the
+//! total possible combination ... increases exponentially with the number
+//! of buffer hierarchies", §4.2).
+
+use arch::{Arch, MemLevel};
+use costmodel::{CostModel, DenseModel};
+use mappers::{Budget, EdpEvaluator, Gamma, Mapper};
+use mapping::MapSpace;
+use problem::Problem;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn two_level() -> Arch {
+    Arch::new(
+        "TwoLevel",
+        vec![
+            MemLevel::new("DRAM", None, 1, 200.0, 16.0),
+            MemLevel::new("Scratchpad", Some(32 * 1024), 64, 4.0, 32.0),
+        ],
+        1.0,
+        2,
+    )
+    .expect("valid")
+}
+
+fn four_level() -> Arch {
+    Arch::new(
+        "FourLevel",
+        vec![
+            MemLevel::new("DRAM", None, 1, 200.0, 16.0),
+            MemLevel::new("L3", Some(256 * 1024), 4, 20.0, 64.0),
+            MemLevel::new("L2", Some(16 * 1024), 16, 5.0, 32.0),
+            MemLevel::new("L1", Some(256), 4, 0.5, 8.0),
+        ],
+        1.0,
+        2,
+    )
+    .expect("valid")
+}
+
+#[test]
+fn random_mappings_legal_and_costable_on_any_depth() {
+    let p = Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+    for a in [two_level(), four_level()] {
+        let model = DenseModel::new(p.clone(), a.clone());
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let m = space.random(&mut rng);
+            m.validate(&p, &a).unwrap_or_else(|e| panic!("{}: {e}", a.name()));
+            let c = model.evaluate(&m).expect("legal mapping must cost");
+            assert!(c.edp().is_finite() && c.edp() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn deeper_hierarchies_have_larger_map_spaces() {
+    let p = Problem::conv2d("t", 16, 128, 128, 28, 28, 3, 3);
+    let s2 = MapSpace::new(p.clone(), two_level()).size_log10();
+    let s4 = MapSpace::new(p.clone(), four_level()).size_log10();
+    assert!(s4 > s2 + 5.0, "4-level {s4:.1} vs 2-level {s2:.1}");
+}
+
+#[test]
+fn gamma_searches_any_depth() {
+    let p = Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+    for a in [two_level(), four_level()] {
+        let model = DenseModel::new(p.clone(), a.clone());
+        let space = MapSpace::new(p.clone(), a.clone());
+        let eval = EdpEvaluator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = Gamma::new().search(&space, &eval, Budget::samples(500), &mut rng);
+        let (best, _) = r.best.unwrap_or_else(|| panic!("{}: no mapping", a.name()));
+        assert!(best.is_legal(&p, &a));
+        // Search must improve on its own first sample.
+        let first = r.history.first().expect("history non-empty").best_score;
+        assert!(r.best_score <= first);
+    }
+}
+
+#[test]
+fn more_buffering_between_dram_and_pes_reduces_dram_traffic() {
+    // A well-mapped 4-level hierarchy should be able to filter more DRAM
+    // traffic than the best 2-level mapping (that is what buffers buy).
+    let p = Problem::conv2d("t", 2, 32, 32, 14, 14, 3, 3);
+    let dram_traffic = |a: Arch| {
+        let model = DenseModel::new(p.clone(), a.clone());
+        let space = MapSpace::new(p.clone(), a);
+        let eval = EdpEvaluator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let r = Gamma::new().search(&space, &eval, Budget::samples(1_500), &mut rng);
+        let best = r.best.expect("found").0;
+        let b = model.evaluate_detailed(&best).expect("legal");
+        b.per_level[0].total()
+    };
+    let t2 = dram_traffic(two_level());
+    let t4 = dram_traffic(four_level());
+    assert!(t4 < t2 * 1.5, "4-level DRAM traffic {t4:.3e} vs 2-level {t2:.3e}");
+}

@@ -1,0 +1,117 @@
+//! Cross-validation of the analytical cost model against the brute-force
+//! reference simulator: on enumerable problems, every per-level read and
+//! write count the closed-form multiplicity analysis predicts must equal
+//! what actually happens when the loop nest executes.
+
+use arch::Arch;
+use costmodel::{CostModel, DenseModel};
+use mapping::{Constraints, MapSpace, Mapping};
+use problem::Problem;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use refsim::simulate;
+
+/// Demotes every spatial factor to temporal (the simulator's scope).
+fn strip_spatial(m: &Mapping, p: &Problem, a: &Arch) -> Mapping {
+    let mut out = m.clone();
+    for l in out.levels_mut() {
+        for dim in 0..l.spatial.len() {
+            let s = l.spatial[dim];
+            l.spatial[dim] = 1;
+            l.temporal[dim] *= s;
+        }
+    }
+    assert!(out.repair_capacity(p, a), "strip+repair failed");
+    out
+}
+
+fn check_agreement(p: &Problem, a: &Arch, m: &Mapping) {
+    let model = DenseModel::new(p.clone(), a.clone());
+    let analytical = model.evaluate_detailed(m).expect("legal mapping");
+    let simulated = simulate(p, a, m).expect("simulable");
+    assert_eq!(analytical.macs as u64, simulated.macs as u64, "MAC counts differ");
+    for (li, (an, si)) in analytical.per_level.iter().zip(&simulated.per_level).enumerate() {
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0);
+        assert!(
+            close(an.reads, si.reads),
+            "level {li} reads: analytical {} vs simulated {} for\n{m}",
+            an.reads,
+            si.reads
+        );
+        assert!(
+            close(an.writes, si.writes),
+            "level {li} writes: analytical {} vs simulated {} for\n{m}",
+            an.writes,
+            si.writes
+        );
+    }
+}
+
+#[test]
+fn analytical_model_matches_simulation_on_random_mappings() {
+    let problems = vec![
+        Problem::conv2d("conv", 2, 4, 4, 5, 5, 3, 3),
+        Problem::gemm("gemm", 2, 8, 8, 8),
+        Problem::depthwise_conv2d("dw", 2, 6, 5, 5, 3, 3),
+        Problem::pointwise_conv2d("pw", 2, 8, 4, 6, 6),
+    ];
+    for p in &problems {
+        for a in [Arch::accel_a(), Arch::accel_b()] {
+            let space = MapSpace::new(p.clone(), a.clone());
+            let mut rng = SmallRng::seed_from_u64(42);
+            for _ in 0..25 {
+                let m = strip_spatial(&space.random(&mut rng), p, &a);
+                check_agreement(p, &a, &m);
+            }
+        }
+    }
+}
+
+#[test]
+fn analytical_model_matches_simulation_under_constraints() {
+    // Order-constrained mappings hit the stationarity edge cases
+    // (reduction innermost/outermost, mixed).
+    let p = Problem::gemm("g", 2, 6, 6, 6);
+    let a = Arch::accel_b();
+    let space = MapSpace::new(p.clone(), a.clone());
+    let orders: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2, 3],
+        vec![3, 2, 1, 0],
+        vec![2, 0, 1, 3],
+        vec![1, 3, 0, 2],
+    ];
+    let mut rng = SmallRng::seed_from_u64(7);
+    for order in orders {
+        let c = Constraints::none(4, 3)
+            .fix_order(0, order.clone())
+            .fix_order(1, order.clone())
+            .fix_order(2, order);
+        for _ in 0..10 {
+            let m = strip_spatial(&space.random_constrained(&mut rng, &c), &p, &a);
+            check_agreement(&p, &a, &m);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    #[test]
+    fn model_matches_simulation_property(
+        b in 1u64..3, k in 1u64..9, c in 1u64..9, y in 1u64..6, r in 1u64..4,
+        seed in any::<u64>()
+    ) {
+        let p = Problem::conv2d("p", b, k, c, y, y, r, r);
+        let a = Arch::accel_b();
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = strip_spatial(&space.random(&mut rng), &p, &a);
+        let model = DenseModel::new(p.clone(), a.clone());
+        let an = model.evaluate_detailed(&m).expect("legal");
+        let si = simulate(&p, &a, &m).expect("simulable");
+        for (x, y) in an.per_level.iter().zip(&si.per_level) {
+            prop_assert!((x.reads - y.reads).abs() <= 1e-6 * x.reads.max(1.0));
+            prop_assert!((x.writes - y.writes).abs() <= 1e-6 * x.writes.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary (small) workloads, mappings, and densities.
+
+use arch::{Arch, SparseCaps};
+use costmodel::{CostModel, DenseModel, SparseModel};
+use mapping::MapSpace;
+use problem::{Density, Problem};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_conv() -> impl Strategy<Value = Problem> {
+    (1u64..5, 1u64..65, 1u64..65, 1u64..29, 1u64..4).prop_map(|(b, k, c, y, r)| {
+        Problem::conv2d("p", b, k, c, y, y, r, r)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_cost_is_finite_positive_for_random_legal_mappings(
+        p in arb_conv(), seed in any::<u64>()
+    ) {
+        for a in [Arch::accel_a(), Arch::accel_b()] {
+            let model = DenseModel::new(p.clone(), a.clone());
+            let space = MapSpace::new(p.clone(), a);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = space.random(&mut rng);
+            let c = model.evaluate(&m).expect("random mappings are legal");
+            prop_assert!(c.latency_cycles.is_finite() && c.latency_cycles >= 1.0);
+            prop_assert!(c.energy_uj.is_finite() && c.energy_uj > 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_never_beats_compute_roofline(p in arb_conv(), seed in any::<u64>()) {
+        let a = Arch::accel_b();
+        let model = DenseModel::new(p.clone(), a.clone());
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.random(&mut rng);
+        let c = model.evaluate(&m).expect("legal");
+        let floor = p.total_macs() as f64 / a.total_spatial_lanes() as f64;
+        prop_assert!(c.latency_cycles >= floor - 1e-9);
+    }
+
+    #[test]
+    fn dram_energy_at_least_covers_compulsory_traffic(
+        p in arb_conv(), seed in any::<u64>()
+    ) {
+        // Every operand word must cross DRAM at least once.
+        let a = Arch::accel_b();
+        let model = DenseModel::new(p.clone(), a.clone());
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.random(&mut rng);
+        let b = model.evaluate_detailed(&m).expect("legal");
+        let bounds = p.bounds();
+        let compulsory_reads: f64 = p
+            .tensors()
+            .iter()
+            .filter(|t| t.kind != problem::TensorKind::Output)
+            .map(|t| t.projection.footprint_f64(&bounds))
+            .sum();
+        let out_size = p.output().projection.footprint_f64(&bounds);
+        prop_assert!(b.per_level[0].reads >= compulsory_reads - 1e-6);
+        prop_assert!(b.per_level[0].writes >= out_size - 1e-6);
+    }
+
+    #[test]
+    fn sparse_edp_monotone_in_weight_density(p in arb_conv(), seed in any::<u64>()) {
+        let a = Arch::accel_b();
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.random(&mut rng);
+        let mut last = f64::INFINITY;
+        for dw in [1.0, 0.5, 0.2, 0.1, 0.02] {
+            let model = SparseModel::new(
+                p.clone(),
+                a.clone(),
+                SparseCaps::flexible(),
+                Density::weight_sparse(dw),
+            );
+            let edp = model.evaluate(&m).expect("soft capacity").edp();
+            prop_assert!(edp <= last * 1.0001, "EDP rose as weights sparsified");
+            last = edp;
+        }
+    }
+
+    #[test]
+    fn more_capable_sparse_hardware_never_costs_more(
+        p in arb_conv(), seed in any::<u64>()
+    ) {
+        let a = Arch::accel_b();
+        let space = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.random(&mut rng);
+        let d = Density::weight_sparse(0.2);
+        let edp = |caps: SparseCaps| {
+            SparseModel::new(p.clone(), a.clone(), caps, d).evaluate(&m).unwrap().edp()
+        };
+        // Skipping+gating+compression <= gating-only <= no support, except
+        // the style-model terms which exist only on sparse hardware. Allow
+        // the style work as slack.
+        prop_assert!(edp(SparseCaps::gating_only()) <= edp(SparseCaps::none()) * 2.0);
+        prop_assert!(edp(SparseCaps::flexible()) <= edp(SparseCaps::gating_only()) * 1.0001);
+    }
+
+    #[test]
+    fn canonicalized_mappings_cost_identically(p in arb_conv(), seed in any::<u64>()) {
+        let a = Arch::accel_b();
+        let model = DenseModel::new(p.clone(), a.clone());
+        let space = MapSpace::new(p.clone(), a);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.random(&mut rng);
+        let c = mappers::canonicalize(&m);
+        let em = model.evaluate(&m).unwrap().edp();
+        let ec = model.evaluate(&c).unwrap().edp();
+        prop_assert!((em - ec).abs() <= em * 1e-12);
+    }
+
+    #[test]
+    fn scaled_warm_seed_is_always_legal(
+        from in arb_conv(), to in arb_conv(), seed in any::<u64>()
+    ) {
+        let a = Arch::accel_b();
+        let space = MapSpace::new(from.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.random(&mut rng);
+        let s = m.scale_to(&from, &to, &a).expect("scaling succeeds on these presets");
+        prop_assert!(s.is_legal(&to, &a));
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration tests for the sparse half of the stack: Sparseloop-like
+//! model + Gamma + the §4.5/§5.2 protocols.
+
+use arch::{Arch, SparseCaps};
+use costmodel::style::{classify, force_order, order_reduction_innermost, order_reduction_outermost, ProductStyle};
+use costmodel::{CostModel, SparseModel};
+use mappers::{Budget, EdpEvaluator, Gamma};
+use mse::{density_sweep, weight_density_sweep, Mse, SparsityAwareEvaluator};
+use problem::{Density, Problem};
+
+fn caps() -> SparseCaps {
+    SparseCaps::flexible()
+}
+
+#[test]
+fn table2_protocol_diagonal_dominates() {
+    // Small-scale Table 2: tune at 1.0 and at 0.05, cross-test; each
+    // specialist must win (or tie) at its own density.
+    let w = problem::zoo::resnet_conv3();
+    let arch = Arch::accel_b();
+    let densities = [1.0, 0.05];
+    let mut tuned = Vec::new();
+    for &d in &densities {
+        let model = SparseModel::new(w.clone(), arch.clone(), caps(), Density::weight_sparse(d));
+        let mse = Mse::new(&model);
+        let eval = EdpEvaluator::new(&model);
+        let r = mse.run_with_evaluator(&Gamma::new(), &eval, Budget::samples(1_200), 8);
+        tuned.push(r.best.expect("found").0);
+    }
+    for (i, &d) in densities.iter().enumerate() {
+        let own = weight_density_sweep(&w, &arch, caps(), &tuned[i], &[d])[0].1;
+        let other = weight_density_sweep(&w, &arch, caps(), &tuned[1 - i], &[d])[0].1;
+        assert!(
+            own <= other * 1.05,
+            "specialist for density {d} loses at home: {own:.3e} vs {other:.3e}"
+        );
+    }
+}
+
+#[test]
+fn style_survives_search_under_pinned_innermost_order() {
+    let w = problem::zoo::bert_kqv();
+    let arch = Arch::accel_b();
+    let model = SparseModel::new(w.clone(), arch.clone(), caps(), Density::weight_sparse(0.1));
+    let mut inner = mapping::Mapping::trivial(&w, &arch);
+    force_order(&mut inner, &order_reduction_innermost(&w));
+    assert_eq!(classify(&w, &inner), ProductStyle::Inner);
+    let mut outer = mapping::Mapping::trivial(&w, &arch);
+    force_order(&mut outer, &order_reduction_outermost(&w));
+    assert_eq!(classify(&w, &outer), ProductStyle::Outer);
+    // The detailed breakdown reports the style it charged.
+    assert_eq!(model.evaluate_detailed(&inner).unwrap().style, ProductStyle::Inner);
+    assert_eq!(model.evaluate_detailed(&outer).unwrap().style, ProductStyle::Outer);
+}
+
+#[test]
+fn activation_density_sweep_monotone_for_searched_mapping() {
+    let w = problem::zoo::resnet_conv3();
+    let arch = Arch::accel_b();
+    let model = SparseModel::new(w.clone(), arch.clone(), caps(), Density::input_sparse(0.5));
+    let mse = Mse::new(&model);
+    let eval = EdpEvaluator::new(&model);
+    let best = mse
+        .run_with_evaluator(&Gamma::new(), &eval, Budget::samples(600), 2)
+        .best
+        .expect("found")
+        .0;
+    let rows = density_sweep(&w, &arch, caps(), &best, &[1.0, 0.8, 0.5, 0.2, 0.1, 0.05]);
+    for pair in rows.windows(2) {
+        assert!(
+            pair[0].1 >= pair[1].1 * 0.999,
+            "EDP not monotone in activation density: {pair:?}"
+        );
+    }
+}
+
+#[test]
+fn sparsity_aware_evaluator_composes_with_any_mapper() {
+    let w = Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+    let arch = Arch::accel_b();
+    let model = SparseModel::new(w.clone(), arch.clone(), caps(), Density::DENSE);
+    let mse = Mse::new(&model);
+    let eval = SparsityAwareEvaluator::new(w, arch, caps(), &[1.0, 0.5, 0.1]);
+    for mapper in [
+        Box::new(mappers::RandomPruned::new()) as Box<dyn mappers::Mapper>,
+        Box::new(Gamma::new()),
+        Box::new(mappers::SimulatedAnnealing::new()),
+    ] {
+        let r = mse.run_with_evaluator(mapper.as_ref(), &eval, Budget::samples(300), 0);
+        assert!(r.best.is_some(), "{} found nothing", mapper.name());
+        assert!(r.best_score.is_finite());
+    }
+}
+
+#[test]
+fn gating_only_accelerator_saves_energy_not_time() {
+    let w = problem::zoo::resnet_conv3();
+    let arch = Arch::accel_b();
+    let m = mapping::Mapping::trivial(&w, &arch);
+    let d = Density::weight_sparse(0.1);
+    let gate = SparseModel::new(w.clone(), arch.clone(), SparseCaps::gating_only(), d)
+        .evaluate(&m)
+        .unwrap();
+    let none = SparseModel::new(w.clone(), arch.clone(), SparseCaps::none(), d)
+        .evaluate(&m)
+        .unwrap();
+    assert!(gate.energy_uj < none.energy_uj, "gating saved no energy");
+    // Without skipping or compression the cycle count cannot drop below
+    // the dense compute floor.
+    assert!(gate.latency_cycles >= w.total_macs() as f64 / m.used_lanes() as f64 - 1.0);
+}

@@ -1,0 +1,81 @@
+//! Integration tests for the gradient-based mapper path (surrogate crate
+//! against the rest of the stack).
+
+use arch::Arch;
+use costmodel::{CostModel, DenseModel};
+use linalg::Pca;
+use mappers::{Budget, EdpEvaluator, Mapper};
+use mapping::features::features;
+use mapping::MapSpace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use surrogate::{MindMappings, Surrogate, TrainConfig};
+
+fn quick_train(model: &DenseModel, seed: u64) -> Arc<Surrogate> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cfg = TrainConfig { samples_per_workload: 1_500, epochs: 12, ..TrainConfig::default() };
+    let (s, report) = Surrogate::train(&[model], &cfg, &mut rng);
+    assert!(report.holdout_mse.is_finite());
+    Arc::new(s)
+}
+
+#[test]
+fn mind_mappings_end_to_end_on_paper_workload() {
+    let w = problem::zoo::resnet_conv4();
+    let a = Arch::accel_b();
+    let model = DenseModel::new(w.clone(), a.clone());
+    let sur = quick_train(&model, 0);
+    let space = MapSpace::new(w.clone(), a.clone());
+    let eval = EdpEvaluator::new(&model);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let r = MindMappings::new(sur).search(&space, &eval, Budget::samples(300), &mut rng);
+    let (best, cost) = r.best.expect("found a mapping");
+    assert!(best.is_legal(&w, &a));
+    assert_eq!(model.evaluate(&best).unwrap(), cost);
+    // Meaningful improvement over its first sample.
+    let first = r.history.first().unwrap().best_score;
+    assert!(r.best_score <= first);
+}
+
+#[test]
+fn surrogate_trains_across_multiple_workloads() {
+    // The paper: the surrogate generalizes across workloads (same arch).
+    let a = Arch::accel_b();
+    let w1 = problem::Problem::conv2d("a", 2, 16, 16, 14, 14, 3, 3);
+    let w2 = problem::Problem::conv2d("b", 2, 32, 8, 14, 14, 3, 3);
+    let m1 = DenseModel::new(w1.clone(), a.clone());
+    let m2 = DenseModel::new(w2.clone(), a.clone());
+    let mut rng = SmallRng::seed_from_u64(2);
+    let cfg = TrainConfig { samples_per_workload: 1_000, epochs: 12, ..TrainConfig::default() };
+    let (sur, _) = Surrogate::train(&[&m1, &m2], &cfg, &mut rng);
+    // Usable for predictions on both workloads.
+    let space = MapSpace::new(w2.clone(), a);
+    let m = space.random(&mut rng);
+    let pred = sur.predict_edp_log(&w2, &features(&m));
+    let truth = m2.evaluate(&m).unwrap().edp().log10();
+    assert!((pred - truth).abs() < 1.5, "pred {pred:.2} vs truth {truth:.2}");
+}
+
+#[test]
+fn pca_over_mapper_samples_is_well_formed() {
+    // The Fig. 4 pipeline: record samples during search, project via PCA.
+    let w = problem::Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3);
+    let a = Arch::accel_b();
+    let model = DenseModel::new(w.clone(), a.clone());
+    let space = MapSpace::new(w, a);
+    let eval = EdpEvaluator::new(&model);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mapper = mappers::RandomPruned::new().with_sample_recording();
+    let r = mapper.search(&space, &eval, Budget::samples(300), &mut rng);
+    assert_eq!(r.samples.len(), 300);
+    let feats: Vec<Vec<f64>> = r.samples.iter().map(|(f, _)| f.clone()).collect();
+    let pca = Pca::fit(&feats, 3);
+    for f in feats.iter().take(20) {
+        let p = pca.transform(f);
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+    let ev: f64 = pca.explained_variance_ratio().iter().sum();
+    assert!(ev > 0.0 && ev <= 1.0 + 1e-9);
+}
