@@ -1,6 +1,5 @@
 //! Buffer-hierarchy configuration types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error returned by [`Arch::validate`] / [`Arch::new`].
@@ -29,7 +28,7 @@ impl fmt::Display for ArchError {
 impl std::error::Error for ArchError {}
 
 /// One storage level of the accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemLevel {
     /// Display name ("DRAM", "GlobalBuffer", "LocalBuffer").
     pub name: String,
@@ -61,7 +60,7 @@ impl MemLevel {
 
 /// A complete accelerator configuration: the storage hierarchy (outermost
 /// first) plus compute-datapath parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Arch {
     name: String,
     levels: Vec<MemLevel>,

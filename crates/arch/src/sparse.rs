@@ -6,10 +6,9 @@
 //! not time) and compute skipping (skip the cycle entirely). The sparse cost
 //! model consumes this description; the dense model ignores it.
 
-use serde::{Deserialize, Serialize};
 
 /// Capabilities of a flexible sparse accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparseCaps {
     /// ALUs skip zero-operand cycles entirely (affects latency and energy).
     /// Without skipping, only gating applies (energy saved, cycles not).

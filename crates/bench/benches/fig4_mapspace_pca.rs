@@ -28,7 +28,7 @@ fn main() {
     let space = MapSpace::new(w.clone(), a.clone());
     let n_background = budget(3_000, 20_000);
     let n_mapper = budget(800, 5_000);
-    let csv = std::env::var("MSE_CSV").map_or(false, |v| v == "1");
+    let csv = std::env::var("MSE_CSV").is_ok_and(|v| v == "1");
 
     header("Fig. 4(a): map-space background sample + PCA basis");
     let mut rng = SmallRng::seed_from_u64(4);

@@ -21,7 +21,8 @@ fn main() {
     let arch = arch::Arch::accel_b();
     println!("Fig. 5: axis sensitivity on {} ({samples} samples per run)", arch.name());
 
-    let variants: Vec<(&str, fn() -> Gamma)> = vec![
+    type Variant = (&'static str, fn() -> Gamma);
+    let variants: Vec<Variant> = vec![
         ("Tile (mutate-tile only)", Gamma::tile_only),
         ("Order (mutate-order only)", Gamma::order_only),
         ("Parallelism only", Gamma::parallelism_only),

@@ -20,7 +20,8 @@ fn main() {
     let arch = arch::Arch::accel_b();
     println!("Fig. 6: crossover sensitivity on {} ({samples} samples per run)", arch.name());
 
-    let variants: Vec<(&str, Box<dyn Fn() -> Box<dyn Mapper>>)> = vec![
+    type Variant = (&'static str, Box<dyn Fn() -> Box<dyn Mapper>>);
+    let variants: Vec<Variant> = vec![
         ("Standard-GA", Box::new(|| Box::new(StandardGa::new()) as Box<dyn Mapper>)),
         ("Gamma no-crossover", Box::new(|| Box::new(Gamma::no_crossover()) as Box<dyn Mapper>)),
         ("Gamma crossover-only", Box::new(|| Box::new(Gamma::crossover_only()) as Box<dyn Mapper>)),

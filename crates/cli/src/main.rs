@@ -4,6 +4,7 @@
 //! mapex search   --problem "CONV2D;c3;B=16,K=128,C=128,Y=28,X=28,R=3,S=3" --arch accel-b --mapper gamma --samples 2000
 //! mapex evaluate --problem "GEMM;g;B=16,M=1024,K=1024,N=512" --arch accel-a --mapping @best.map
 //! mapex sweep    --model vgg16 --arch accel-b --samples 1000 --warm-start --buffer vgg.replay
+//! mapex sweep    --model vgg16 --arch accel-b --samples 1000 --resume vgg.ckpt
 //! mapex size     --problem "CONV2D;c4;B=16,K=256,C=256,Y=14,X=14,R=3,S=3" --arch accel-b
 //! mapex zoo
 //! ```
@@ -14,9 +15,12 @@ use args::Args;
 use costmodel::{CostModel, DenseModel, SparseModel};
 use mappers::{
     Budget, CrossEntropy, Exhaustive, Gamma, HillClimb, Mapper, RandomMapper, RandomPruned,
-    Reinforce, SimulatedAnnealing, StandardGa,
+    Reinforce, RunStatus, SimulatedAnnealing, StandardGa,
 };
-use mse::{run_network, InitStrategy, Mse, ReplayBuffer};
+use mse::{
+    run_network, run_network_checkpointed, CheckpointError, InitStrategy, Mse, ReplayBuffer,
+    RunPolicy,
+};
 use problem::{Density, Problem};
 use std::process::ExitCode;
 
@@ -38,6 +42,9 @@ common options:
                          exhaustive                 (default gamma)
   --samples N            sample budget               (default 2000)
   --seconds S            wall-clock budget (overrides --samples)
+  --timeout S            hard wall-clock cap on top of the budget; a mapper
+                         that ignores it is stopped by the watchdog
+  --retries N            retry a failed search with perturbed seeds (default 2)
   --seed N               RNG seed                    (default 0)
   --weight-density D     sparse weights (enables the sparse model)
   --input-density D      sparse activations (enables the sparse model)
@@ -46,7 +53,48 @@ common options:
   --model NAME           zoo model (sweep): vgg16 | resnet50 | mobilenet_v2 | mnasnet | bert_large
   --buffer FILE          replay-buffer file to load/save (sweep)
   --warm-start           seed each layer from the replay buffer (sweep)
+  --checkpoint FILE      write a JSON checkpoint after every layer (sweep)
+  --resume FILE          resume an interrupted sweep from FILE, skipping
+                         completed layers (implies --checkpoint FILE)
+
+exit codes:
+  0  success
+  1  bad input or I/O error
+  2  usage error
+  3  search produced no legal mapping (after retries)
+  4  checkpoint is corrupt or belongs to a different sweep
 ";
+
+/// CLI failure, carrying the process exit code it maps to.
+enum CliError {
+    /// Malformed specs, bad option values, I/O failures (exit 1).
+    Input(String),
+    /// The search ran but found nothing usable (exit 3).
+    NoResult(String),
+    /// Checkpoint corrupt or from a different sweep (exit 4).
+    Checkpoint(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Input(_) => 1,
+            CliError::NoResult(_) => 3,
+            CliError::Checkpoint(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Input(m) | CliError::NoResult(m) | CliError::Checkpoint(m) => m,
+        }
+    }
+}
+
+/// Shorthand: anything stringy becomes an input error (exit 1).
+fn input<E: ToString>(e: E) -> CliError {
+    CliError::Input(e.to_string())
+}
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -64,30 +112,30 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.code())
         }
     }
 }
 
-fn parse_arch(args: &Args) -> Result<arch::Arch, String> {
+fn parse_arch(args: &Args) -> Result<arch::Arch, CliError> {
     match args.get_or("arch", "accel-b") {
         "accel-a" => Ok(arch::Arch::accel_a()),
         "accel-b" => Ok(arch::Arch::accel_b()),
-        other => Err(format!("unknown --arch `{other}` (accel-a | accel-b)")),
+        other => Err(input(format!("unknown --arch `{other}` (accel-a | accel-b)"))),
     }
 }
 
-fn parse_problem(args: &Args) -> Result<Problem, String> {
-    let spec = args.get("problem").ok_or("--problem is required")?;
-    problem::codec::from_spec(spec).map_err(|e| e.to_string())
+fn parse_problem(args: &Args) -> Result<Problem, CliError> {
+    let spec = args.get("problem").ok_or_else(|| input("--problem is required"))?;
+    problem::codec::from_spec(spec).map_err(input)
 }
 
-fn parse_density(args: &Args) -> Result<Option<Density>, String> {
-    let dw: f64 = args.get_num("weight-density", 1.0)?;
-    let da: f64 = args.get_num("input-density", 1.0)?;
+fn parse_density(args: &Args) -> Result<Option<Density>, CliError> {
+    let dw: f64 = args.get_num("weight-density", 1.0).map_err(input)?;
+    let da: f64 = args.get_num("input-density", 1.0).map_err(input)?;
     if !(0.0..=1.0).contains(&dw) || !(0.0..=1.0).contains(&da) || dw == 0.0 || da == 0.0 {
-        return Err("densities must be in (0, 1]".into());
+        return Err(input("densities must be in (0, 1]"));
     }
     if dw == 1.0 && da == 1.0 {
         Ok(None)
@@ -109,7 +157,7 @@ fn make_model(
     }
 }
 
-fn make_mapper(name: &str) -> Result<Box<dyn Mapper>, String> {
+fn make_mapper(name: &str) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
         "gamma" => Box::new(Gamma::new()),
         "random" => Box::new(RandomMapper::new()),
@@ -120,30 +168,64 @@ fn make_mapper(name: &str) -> Result<Box<dyn Mapper>, String> {
         "cem" => Box::new(CrossEntropy::new()),
         "reinforce" => Box::new(Reinforce::new()),
         "exhaustive" => Box::new(Exhaustive::new()),
-        other => return Err(format!("unknown --mapper `{other}`")),
+        other => return Err(input(format!("unknown --mapper `{other}`"))),
     })
 }
 
-fn parse_budget(args: &Args) -> Result<Budget, String> {
-    if let Some(s) = args.get("seconds") {
-        let secs: f64 = s.parse().map_err(|_| "--seconds: bad value".to_string())?;
-        Ok(Budget::seconds(secs))
+/// Budget from `--samples` / `--seconds`, optionally tightened by
+/// `--timeout` — a hard wall-clock cap the watchdog enforces even against
+/// mappers that never look at their budget.
+fn parse_budget(args: &Args) -> Result<Budget, CliError> {
+    let mut budget = if let Some(s) = args.get("seconds") {
+        let secs: f64 = s.parse().map_err(|_| input("--seconds: bad value"))?;
+        Budget::seconds(secs)
     } else {
-        Ok(Budget::samples(args.get_num("samples", 2_000)?))
+        Budget::samples(args.get_num("samples", 2_000).map_err(input)?)
+    };
+    if let Some(t) = args.get("timeout") {
+        let secs: f64 = t.parse().map_err(|_| input("--timeout: bad value"))?;
+        if secs.is_nan() || secs <= 0.0 {
+            return Err(input("--timeout: must be positive"));
+        }
+        let cap = std::time::Duration::from_secs_f64(secs);
+        budget.max_time = Some(budget.max_time.map_or(cap, |t| t.min(cap)));
     }
+    Ok(budget)
 }
 
-fn cmd_search(args: &Args) -> Result<(), String> {
+fn parse_policy(args: &Args) -> Result<RunPolicy, CliError> {
+    Ok(RunPolicy::with_retries(args.get_num("retries", 2).map_err(input)?))
+}
+
+fn cmd_search(args: &Args) -> Result<(), CliError> {
     let p = parse_problem(args)?;
     let a = parse_arch(args)?;
     let model = make_model(&p, &a, parse_density(args)?);
     let mapper = make_mapper(args.get_or("mapper", "gamma"))?;
     let budget = parse_budget(args)?;
-    let seed: u64 = args.get_num("seed", 0)?;
+    let seed: u64 = args.get_num("seed", 0).map_err(input)?;
+    let policy = parse_policy(args)?;
 
     let mse = Mse::new(model.as_ref());
-    let r = mse.run(mapper.as_ref(), budget, seed);
-    let (best, cost) = r.best.ok_or("search found no legal mapping")?;
+    let outcome = mse.run_guarded(mapper.as_ref(), budget, seed, policy);
+    for (i, attempt) in outcome.attempts.iter().enumerate() {
+        if let Some(e) = &attempt.error {
+            eprintln!("attempt {} (seed {}): {e}", i + 1, attempt.seed);
+        }
+    }
+    match outcome.status {
+        RunStatus::Recovered => eprintln!("recovered after retry with a perturbed seed"),
+        RunStatus::WatchdogStopped => {
+            eprintln!("warning: mapper overran its budget and was stopped; result is truncated")
+        }
+        _ => {}
+    }
+    let r = outcome
+        .result
+        .ok_or_else(|| CliError::NoResult("search found no legal mapping".to_string()))?;
+    let (best, cost) = r
+        .best
+        .ok_or_else(|| CliError::NoResult("search found no legal mapping".to_string()))?;
     println!("workload : {p}");
     println!("arch     : {}", a.name());
     println!("mapper   : {} ({} samples, {:.3}s)", mapper.name(), r.evaluated, r.elapsed.as_secs_f64());
@@ -151,23 +233,25 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     println!("mapping  : {}", mapping::codec::to_spec(&best));
     print!("{best}");
     if let Some(path) = args.get("out") {
-        std::fs::write(path, mapping::codec::to_spec(&best)).map_err(|e| e.to_string())?;
+        std::fs::write(path, mapping::codec::to_spec(&best)).map_err(input)?;
         println!("wrote {path}");
     }
     Ok(())
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
+fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     let p = parse_problem(args)?;
     let a = parse_arch(args)?;
     let model = make_model(&p, &a, parse_density(args)?);
-    let spec = args.get("mapping").ok_or("--mapping is required")?;
+    let spec = args.get("mapping").ok_or_else(|| input("--mapping is required"))?;
     let spec = match spec.strip_prefix('@') {
-        Some(path) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+        Some(path) => std::fs::read_to_string(path).map_err(input)?,
         None => spec.to_string(),
     };
-    let m = mapping::codec::from_spec(spec.trim()).map_err(|e| e.to_string())?;
-    let b = model.evaluate_detailed(&m).map_err(|e| format!("illegal mapping: {e}"))?;
+    let m = mapping::codec::from_spec(spec.trim()).map_err(input)?;
+    let b = model
+        .evaluate_detailed(&m)
+        .map_err(|e| input(format!("illegal mapping: {e}")))?;
     println!("workload : {p}");
     println!("cost     : {}", b.cost);
     println!("lanes    : {}", b.lanes);
@@ -182,12 +266,13 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
+fn cmd_sweep(args: &Args) -> Result<(), CliError> {
     let a = parse_arch(args)?;
-    let name = args.get("model").ok_or("--model is required")?;
-    let layers = problem::zoo::model(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+    let name = args.get("model").ok_or_else(|| input("--model is required"))?;
+    let layers =
+        problem::zoo::model(name).ok_or_else(|| input(format!("unknown model `{name}`")))?;
     let budget = parse_budget(args)?;
-    let seed: u64 = args.get_num("seed", 0)?;
+    let seed: u64 = args.get_num("seed", 0).map_err(input)?;
     let strategy = if args.flag("warm-start") {
         InitStrategy::BySimilarity
     } else {
@@ -196,21 +281,51 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let buffer = ReplayBuffer::new();
     if let Some(path) = args.get("buffer") {
         if let Ok(f) = std::fs::File::open(path) {
-            let n = buffer.load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
+            let n = buffer.load(std::io::BufReader::new(f)).map_err(input)?;
             println!("loaded {n} replay entries from {path}");
         }
     }
+    // `--resume FILE` reads *and* keeps writing FILE; `--checkpoint FILE`
+    // only writes (a fresh sweep that can be resumed later).
+    let resume = args.get("resume");
+    if let Some(path) = resume {
+        // Peek so the user can see work being skipped; corrupt or
+        // mismatched files are diagnosed by the checkpointed run below.
+        if let Ok(ckpt) = mse::SweepCheckpoint::load(std::path::Path::new(path)) {
+            eprintln!(
+                "resuming from {path}: {}/{} layer(s) already complete",
+                ckpt.layers.len(),
+                layers.len()
+            );
+        } else if !std::path::Path::new(path).exists() {
+            eprintln!("no checkpoint at {path} yet; starting fresh");
+        }
+    }
+    let checkpoint = resume.or_else(|| args.get("checkpoint"));
     let arch_for_model = a.clone();
-    let out = run_network(
-        &layers,
-        &a,
-        &buffer,
-        strategy,
-        budget,
-        seed,
-        move |p| Box::new(DenseModel::new(p.clone(), arch_for_model.clone())),
-        || Box::new(Gamma::new()),
-    );
+    let make_model = move |p: &Problem| -> Box<dyn CostModel> {
+        Box::new(DenseModel::new(p.clone(), arch_for_model.clone()))
+    };
+    let make_mapper = || -> Box<dyn Mapper> { Box::new(Gamma::new()) };
+    let out = match checkpoint {
+        Some(path) => run_network_checkpointed(
+            &layers,
+            &a,
+            &buffer,
+            strategy,
+            budget,
+            seed,
+            make_model,
+            make_mapper,
+            std::path::Path::new(path),
+            resume.is_some(),
+        )
+        .map_err(|e| match e {
+            CheckpointError::Io(io) => input(io),
+            other => CliError::Checkpoint(other.to_string()),
+        })?,
+        None => run_network(&layers, &a, &buffer, strategy, budget, seed, make_model, make_mapper),
+    };
     println!("{:<24} {:>12} {:>12} {:>10}", "layer", "EDP", "latency", "samples");
     for o in &out {
         let cost = o.result.best.as_ref().map(|(_, c)| *c);
@@ -226,14 +341,14 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         }
     }
     if let Some(path) = args.get("buffer") {
-        let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
-        buffer.save(&mut f).map_err(|e| e.to_string())?;
+        let mut f = std::fs::File::create(path).map_err(input)?;
+        buffer.save(&mut f).map_err(input)?;
         println!("saved {} replay entries to {path}", buffer.len());
     }
     Ok(())
 }
 
-fn cmd_size(args: &Args) -> Result<(), String> {
+fn cmd_size(args: &Args) -> Result<(), CliError> {
     let p = parse_problem(args)?;
     let a = parse_arch(args)?;
     let s = mapping::MapSpace::new(p.clone(), a.clone());
@@ -241,7 +356,7 @@ fn cmd_size(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_zoo() -> Result<(), String> {
+fn cmd_zoo() -> Result<(), CliError> {
     println!("models:");
     for name in ["vgg16", "resnet50", "mobilenet_v2", "mnasnet", "bert_large"] {
         let layers = problem::zoo::model(name).expect("zoo model");

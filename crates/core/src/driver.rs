@@ -20,6 +20,11 @@ impl<'a> Mse<'a> {
         Mse { model }
     }
 
+    /// The cost model the driver is bound to.
+    pub fn model(&self) -> &'a dyn CostModel {
+        self.model
+    }
+
     /// The map space being explored.
     pub fn space(&self) -> MapSpace {
         MapSpace::new(self.model.problem().clone(), self.model.arch().clone())
@@ -61,9 +66,9 @@ impl Mse<'_> {
             .iter()
             .map(|m| (m.name().to_string(), self.run(*m, budget, seed)))
             .collect();
-        out.sort_by(|a, b| {
-            a.1.best_score.partial_cmp(&b.1.best_score).expect("scores are not NaN")
-        });
+        // NaN-safe: a poisoned score sorts last instead of panicking the
+        // whole portfolio (see `mappers::score_cmp`).
+        out.sort_by(|a, b| mappers::score_cmp(a.1.best_score, b.1.best_score));
         out
     }
 }

@@ -24,10 +24,16 @@
 //! ```
 
 mod driver;
+pub mod fault;
+pub mod runtime;
 pub mod sparsity;
 pub mod warmstart;
 
 pub use driver::{convergence_sample, samples_to_reach, Mse};
+pub use fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};
+pub use runtime::{
+    run_network_checkpointed, CheckpointError, LayerCheckpoint, RunPolicy, SweepCheckpoint,
+};
 pub use sparsity::{
     density_sweep, weight_density_sweep, SparsityAwareEvaluator, StaticDensityEvaluator,
     DEFAULT_SEARCH_DENSITIES,

@@ -1,0 +1,1036 @@
+//! The resilient search runtime: guarded mapper execution and
+//! checkpointed network sweeps.
+//!
+//! Production MSE runs race portfolios of third-party mappers against
+//! cost models for hours; one buggy mapper or one NaN-poisoned cost must
+//! not take the whole run down. This module layers four defenses over the
+//! plain [`Mse`] driver:
+//!
+//! 1. **Panic isolation** — every mapper run executes under
+//!    [`std::panic::catch_unwind`]; a panic becomes a structured
+//!    [`RunError::MapperPanicked`] inside a [`RunOutcome`] instead of an
+//!    abort.
+//! 2. **Watchdog budget enforcement** — the evaluator handed to the
+//!    mapper is a [`WatchdogEvaluator`] that counts evaluations and wall
+//!    clock itself and hard-stops a mapper that ignores its [`Budget`]
+//!    (with a grace window, so well-behaved mappers are bit-identical
+//!    with or without the watchdog).
+//! 3. **Retry with reseed** — attempts that panic or end with an empty /
+//!    non-finite result are retried up to [`RunPolicy::retries`] times
+//!    with deterministically perturbed seeds; every attempt is recorded
+//!    in the outcome's audit trail.
+//! 4. **Checkpoint / resume** — [`run_network_checkpointed`] writes an
+//!    atomic JSON checkpoint after every layer of a sweep, and a resumed
+//!    run skips completed layers while reproducing the exact result a
+//!    fresh run would have produced (per-layer seeds depend only on the
+//!    layer index, and the replay buffer is rebuilt from the checkpoint).
+
+use crate::driver::Mse;
+use crate::fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};
+use crate::warmstart::{run_network_from, InitStrategy, LayerOutcome, ReplayBuffer};
+use arch::Arch;
+use costmodel::{Cost, CostModel};
+use mappers::{
+    score_cmp, AttemptRecord, Budget, ConvergencePoint, EdpEvaluator, Evaluator, Mapper,
+    RunError, RunOutcome, RunStatus, SearchResult,
+};
+use problem::Problem;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Knobs of the guarded runner.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPolicy {
+    /// Additional attempts (with perturbed seeds) after a failed first
+    /// attempt. `0` disables retry.
+    pub retries: usize,
+    /// Watchdog slack on the sample budget: population-based mappers
+    /// legitimately finish the generation in flight when the budget runs
+    /// out, so the hard stop only fires this many evaluations past the
+    /// limit.
+    pub grace_evals: usize,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy { retries: 2, grace_evals: 1024 }
+    }
+}
+
+impl RunPolicy {
+    /// Policy with a given retry count and the default grace window.
+    pub fn with_retries(retries: usize) -> Self {
+        RunPolicy { retries, ..RunPolicy::default() }
+    }
+}
+
+/// Deterministic seed perturbation for retry attempt `attempt` (attempt 0
+/// is the caller's seed unchanged). Splitmix64-style mixing: retries land
+/// far from the original stream and from each other.
+pub fn reseed(seed: u64, attempt: u64) -> u64 {
+    if attempt == 0 {
+        return seed;
+    }
+    let mut z = seed.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Mse<'_> {
+    /// Runs `mapper` under the full defensive stack (panic isolation,
+    /// watchdog, retry-with-reseed) with the default EDP objective. Never
+    /// panics on a misbehaving mapper or cost model; the outcome records
+    /// what happened.
+    pub fn run_guarded(
+        &self,
+        mapper: &dyn Mapper,
+        budget: Budget,
+        seed: u64,
+        policy: RunPolicy,
+    ) -> RunOutcome {
+        let evaluator = EdpEvaluator::new(self.model());
+        self.run_guarded_with_evaluator(mapper, &evaluator, budget, seed, policy)
+    }
+
+    /// [`Mse::run_guarded`] with a custom objective.
+    pub fn run_guarded_with_evaluator(
+        &self,
+        mapper: &dyn Mapper,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        seed: u64,
+        policy: RunPolicy,
+    ) -> RunOutcome {
+        quiet_sentinel_panics();
+        let space = self.space();
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        // Best truncated result salvaged from panicked attempts, kept in
+        // case every attempt fails.
+        let mut salvaged: Option<SearchResult> = None;
+        for attempt in 0..=policy.retries {
+            let attempt_seed = reseed(seed, attempt as u64);
+            let watchdog = WatchdogEvaluator::new(evaluator, budget, policy.grace_evals);
+            let started = Instant::now();
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = SmallRng::seed_from_u64(attempt_seed);
+                mapper.search(&space, &watchdog, budget, &mut rng)
+            }));
+            match run {
+                Ok(result) => {
+                    let error = if result.best.is_none() {
+                        Some(RunError::NoLegalMapping)
+                    } else if !result.best_score.is_finite() {
+                        Some(RunError::NonFiniteScore { score: result.best_score })
+                    } else {
+                        None
+                    };
+                    let accepted = error.is_none();
+                    attempts.push(AttemptRecord {
+                        seed: attempt_seed,
+                        error,
+                        evaluated: result.evaluated,
+                        elapsed: result.elapsed,
+                        best_score: result.best_score,
+                    });
+                    if accepted {
+                        let status = if attempt == 0 {
+                            RunStatus::Succeeded
+                        } else {
+                            RunStatus::Recovered
+                        };
+                        return RunOutcome {
+                            mapper: mapper.name().to_string(),
+                            status,
+                            attempts,
+                            result: Some(result),
+                        };
+                    }
+                }
+                Err(payload) => {
+                    let evaluated = watchdog.evaluated();
+                    let best_score = watchdog.best_score();
+                    if let Some(stop) = payload.downcast_ref::<WatchdogStop>() {
+                        attempts.push(AttemptRecord {
+                            seed: attempt_seed,
+                            error: Some(RunError::BudgetOverrun { evaluated: stop.evaluated }),
+                            evaluated,
+                            elapsed: started.elapsed(),
+                            best_score,
+                        });
+                        // No retry: a mapper that ignores its budget once
+                        // will ignore it again. Hand back whatever the
+                        // shadow incumbent caught before the stop.
+                        return RunOutcome {
+                            mapper: mapper.name().to_string(),
+                            status: RunStatus::WatchdogStopped,
+                            attempts,
+                            result: watchdog.salvage(),
+                        };
+                    }
+                    attempts.push(AttemptRecord {
+                        seed: attempt_seed,
+                        error: Some(RunError::MapperPanicked {
+                            message: panic_message(&*payload),
+                        }),
+                        evaluated,
+                        elapsed: started.elapsed(),
+                        best_score,
+                    });
+                    if let Some(s) = watchdog.salvage() {
+                        let better = salvaged
+                            .as_ref()
+                            .is_none_or(|cur| score_cmp(s.best_score, cur.best_score).is_lt());
+                        if better {
+                            salvaged = Some(s);
+                        }
+                    }
+                }
+            }
+        }
+        RunOutcome {
+            mapper: mapper.name().to_string(),
+            status: RunStatus::Failed,
+            attempts,
+            result: salvaged,
+        }
+    }
+
+    /// Guarded portfolio run: every mapper gets the full defensive stack,
+    /// results come back ordered best-first (NaN-safe), and one crashing
+    /// or runaway mapper cannot poison its peers' results.
+    pub fn run_portfolio_resilient(
+        &self,
+        mappers: &[&dyn Mapper],
+        budget: Budget,
+        seed: u64,
+        policy: RunPolicy,
+    ) -> Vec<RunOutcome> {
+        let mut out: Vec<RunOutcome> =
+            mappers.iter().map(|m| self.run_guarded(*m, budget, seed, policy)).collect();
+        out.sort_by(|a, b| score_cmp(a.best_score(), b.best_score()));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------------
+
+/// Why a checkpoint could not be loaded, written, or applied.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the checkpoint.
+    Io(std::io::Error),
+    /// The file is not a well-formed checkpoint.
+    Corrupt(String),
+    /// The checkpoint is well-formed but belongs to a different sweep
+    /// (seed, budget, strategy, or layer sequence differs).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::Mismatch(msg) => {
+                write!(f, "checkpoint does not match this sweep: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One completed layer inside a [`SweepCheckpoint`]: enough to rebuild
+/// the layer's [`LayerOutcome`] and its replay-buffer contribution
+/// exactly. Convergence history and per-sample features are not carried —
+/// they do not influence later layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCheckpoint {
+    /// Workload name (must match the sweep's layer list on resume).
+    pub name: String,
+    /// EDP of the initialization point.
+    pub init_score: f64,
+    /// Best score the layer's search reached.
+    pub best_score: f64,
+    /// The paper's 99.5%-convergence sample index.
+    pub converge_sample: usize,
+    /// Evaluations the layer consumed.
+    pub evaluated: usize,
+    /// Wall-clock seconds the layer consumed (informational).
+    pub elapsed_secs: f64,
+    /// Best mapping in `mapping::codec` spec form; `None` when the layer
+    /// found no legal mapping.
+    pub mapping: Option<String>,
+    /// Latency of the best mapping (cycles).
+    pub latency_cycles: f64,
+    /// Energy of the best mapping (µJ).
+    pub energy_uj: f64,
+}
+
+impl LayerCheckpoint {
+    fn from_outcome(o: &LayerOutcome) -> Self {
+        let (mapping, cost) = match &o.result.best {
+            Some((m, c)) => (Some(mapping::codec::to_spec(m)), *c),
+            None => (None, Cost { latency_cycles: f64::NAN, energy_uj: f64::NAN }),
+        };
+        LayerCheckpoint {
+            name: o.name.clone(),
+            init_score: o.init_score,
+            best_score: o.result.best_score,
+            converge_sample: o.converge_sample,
+            evaluated: o.result.evaluated,
+            elapsed_secs: o.result.elapsed.as_secs_f64(),
+            mapping,
+            latency_cycles: cost.latency_cycles,
+            energy_uj: cost.energy_uj,
+        }
+    }
+
+    fn to_outcome(&self) -> Result<LayerOutcome, CheckpointError> {
+        let best = match &self.mapping {
+            Some(spec) => {
+                let m = mapping::codec::from_spec(spec).map_err(|e| {
+                    CheckpointError::Corrupt(format!("layer {}: bad mapping spec: {e}", self.name))
+                })?;
+                Some((m, Cost { latency_cycles: self.latency_cycles, energy_uj: self.energy_uj }))
+            }
+            None => None,
+        };
+        let pareto = best.clone().into_iter().collect();
+        Ok(LayerOutcome {
+            name: self.name.clone(),
+            init_score: self.init_score,
+            result: SearchResult {
+                best,
+                best_score: self.best_score,
+                history: vec![ConvergencePoint {
+                    samples: self.evaluated,
+                    seconds: self.elapsed_secs,
+                    best_score: self.best_score,
+                }],
+                samples: Vec::new(),
+                pareto,
+                evaluated: self.evaluated,
+                elapsed: Duration::from_secs_f64(self.elapsed_secs.max(0.0)),
+            },
+            converge_sample: self.converge_sample,
+        })
+    }
+}
+
+/// On-disk state of a partially completed network sweep. Serialized as
+/// JSON (hand-rolled: the build environment is offline, so no serde) and
+/// written atomically — a crash mid-write leaves the previous checkpoint
+/// intact, never a torn file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCheckpoint {
+    /// Base seed of the sweep.
+    pub seed: u64,
+    /// Init strategy, as its canonical name.
+    pub strategy: String,
+    /// Sample budget per layer, if any.
+    pub budget_samples: Option<usize>,
+    /// Wall-clock budget per layer in seconds, if any.
+    pub budget_seconds: Option<f64>,
+    /// Completed layers, in sweep order.
+    pub layers: Vec<LayerCheckpoint>,
+}
+
+/// Canonical checkpoint name of an [`InitStrategy`].
+pub fn strategy_name(s: InitStrategy) -> &'static str {
+    match s {
+        InitStrategy::Random => "random",
+        InitStrategy::PreviousLayer => "previous-layer",
+        InitStrategy::BySimilarity => "by-similarity",
+    }
+}
+
+impl SweepCheckpoint {
+    /// Empty checkpoint for a fresh sweep.
+    pub fn new(seed: u64, strategy: InitStrategy, budget: Budget) -> Self {
+        SweepCheckpoint {
+            seed,
+            strategy: strategy_name(strategy).to_string(),
+            budget_samples: budget.max_samples,
+            budget_seconds: budget.max_time.map(|t| t.as_secs_f64()),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Rejects resuming under different sweep parameters — a resumed run
+    /// must reproduce exactly what the fresh run would have produced, and
+    /// seed/budget/strategy all feed into that.
+    fn check_matches(
+        &self,
+        seed: u64,
+        strategy: InitStrategy,
+        budget: Budget,
+        layers: &[Problem],
+    ) -> Result<(), CheckpointError> {
+        if self.seed != seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint seed {} != requested seed {seed}",
+                self.seed
+            )));
+        }
+        if self.strategy != strategy_name(strategy) {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint strategy {:?} != requested {:?}",
+                self.strategy,
+                strategy_name(strategy)
+            )));
+        }
+        if self.budget_samples != budget.max_samples {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint sample budget {:?} != requested {:?}",
+                self.budget_samples, budget.max_samples
+            )));
+        }
+        if self.layers.len() > layers.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} completed layers, sweep has only {}",
+                self.layers.len(),
+                layers.len()
+            )));
+        }
+        for (lc, p) in self.layers.iter().zip(layers) {
+            if lc.name != p.name() {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint layer {:?} != sweep layer {:?}",
+                    lc.name,
+                    p.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to JSON text.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.layers.len() * 256);
+        s.push_str("{\n");
+        s.push_str("  \"version\": 1,\n");
+        // u64 seeds as strings: JSON numbers are doubles and would round
+        // seeds above 2^53.
+        s.push_str(&format!("  \"seed\": \"{}\",\n", self.seed));
+        s.push_str(&format!("  \"strategy\": {},\n", json_string(&self.strategy)));
+        match self.budget_samples {
+            Some(n) => s.push_str(&format!("  \"budget_samples\": {n},\n")),
+            None => s.push_str("  \"budget_samples\": null,\n"),
+        }
+        match self.budget_seconds {
+            Some(t) => s.push_str(&format!("  \"budget_seconds\": {},\n", json_f64(t))),
+            None => s.push_str("  \"budget_seconds\": null,\n"),
+        }
+        s.push_str("  \"layers\": [");
+        for (i, l) in self.layers.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": {}, ", json_string(&l.name)));
+            s.push_str(&format!("\"init_score\": {}, ", json_f64(l.init_score)));
+            s.push_str(&format!("\"best_score\": {}, ", json_f64(l.best_score)));
+            s.push_str(&format!("\"converge_sample\": {}, ", l.converge_sample));
+            s.push_str(&format!("\"evaluated\": {}, ", l.evaluated));
+            s.push_str(&format!("\"elapsed_secs\": {}, ", json_f64(l.elapsed_secs)));
+            match &l.mapping {
+                Some(spec) => s.push_str(&format!("\"mapping\": {}, ", json_string(spec))),
+                None => s.push_str("\"mapping\": null, "),
+            }
+            s.push_str(&format!("\"latency_cycles\": {}, ", json_f64(l.latency_cycles)));
+            s.push_str(&format!("\"energy_uj\": {}", json_f64(l.energy_uj)));
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parses checkpoint JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] on malformed JSON or missing fields.
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        let corrupt = |msg: &str| CheckpointError::Corrupt(msg.to_string());
+        let root = json::parse(text).map_err(CheckpointError::Corrupt)?;
+        let version = root.get("version").and_then(json::Value::as_u64);
+        if version != Some(1) {
+            return Err(corrupt("unsupported or missing version"));
+        }
+        let seed = root
+            .get("seed")
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| corrupt("missing seed"))?;
+        let strategy = root
+            .get("strategy")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| corrupt("missing strategy"))?
+            .to_string();
+        let budget_samples = match root.get("budget_samples") {
+            None | Some(json::Value::Null) => None,
+            Some(v) => {
+                Some(v.as_u64().ok_or_else(|| corrupt("bad budget_samples"))? as usize)
+            }
+        };
+        let budget_seconds = match root.get("budget_seconds") {
+            None | Some(json::Value::Null) => None,
+            Some(v) => Some(v.as_f64().ok_or_else(|| corrupt("bad budget_seconds"))?),
+        };
+        let layers_json = root
+            .get("layers")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| corrupt("missing layers"))?;
+        let mut layers = Vec::with_capacity(layers_json.len());
+        for (i, l) in layers_json.iter().enumerate() {
+            let field = |key: &str| {
+                l.get(key)
+                    .ok_or_else(|| CheckpointError::Corrupt(format!("layer {i}: missing {key}")))
+            };
+            let num = |key: &str| -> Result<f64, CheckpointError> {
+                field(key)?
+                    .as_f64()
+                    .ok_or_else(|| CheckpointError::Corrupt(format!("layer {i}: bad {key}")))
+            };
+            let count = |key: &str| -> Result<usize, CheckpointError> {
+                field(key)?
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| CheckpointError::Corrupt(format!("layer {i}: bad {key}")))
+            };
+            let mapping = match l.get("mapping") {
+                None | Some(json::Value::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| CheckpointError::Corrupt(format!("layer {i}: bad mapping")))?
+                        .to_string(),
+                ),
+            };
+            layers.push(LayerCheckpoint {
+                name: field("name")?
+                    .as_str()
+                    .ok_or_else(|| CheckpointError::Corrupt(format!("layer {i}: bad name")))?
+                    .to_string(),
+                init_score: num("init_score")?,
+                best_score: num("best_score")?,
+                converge_sample: count("converge_sample")?,
+                evaluated: count("evaluated")?,
+                elapsed_secs: num("elapsed_secs")?,
+                mapping,
+                latency_cycles: num("latency_cycles")?,
+                energy_uj: num("energy_uj")?,
+            });
+        }
+        Ok(SweepCheckpoint { seed, strategy, budget_samples, budget_seconds, layers })
+    }
+
+    /// Loads a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on read failure, [`CheckpointError::Corrupt`]
+    /// on malformed content.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        SweepCheckpoint::from_json(&text)
+    }
+
+    /// Writes the checkpoint atomically: the bytes go to a `.tmp` sibling
+    /// first and are renamed over `path`, so an interrupted write can
+    /// never leave a torn checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on write or rename failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// [`crate::warmstart::run_network`] with checkpoint/resume: after every
+/// completed layer the sweep state is written atomically to
+/// `checkpoint_path`. With `resume = true` and an existing checkpoint,
+/// completed layers are skipped — their outcomes and replay-buffer
+/// contributions are rebuilt from the file — and the remaining layers run
+/// with exactly the seeds a fresh run would have used, so the final
+/// outcome is identical to an uninterrupted sweep. A missing checkpoint
+/// file with `resume = true` simply starts fresh.
+///
+/// # Errors
+///
+/// [`CheckpointError`] when the checkpoint cannot be read, written, or
+/// belongs to a different sweep (other seed/budget/strategy/layers).
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_checkpointed<'m, M, F>(
+    layers: &[Problem],
+    arch: &Arch,
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    make_model: M,
+    make_mapper: F,
+    checkpoint_path: &Path,
+    resume: bool,
+) -> Result<Vec<LayerOutcome>, CheckpointError>
+where
+    M: FnMut(&Problem) -> Box<dyn CostModel + 'm>,
+    F: FnMut() -> Box<dyn Mapper>,
+{
+    let mut ckpt = if resume && checkpoint_path.exists() {
+        let c = SweepCheckpoint::load(checkpoint_path)?;
+        c.check_matches(seed, strategy, budget, layers)?;
+        c
+    } else {
+        SweepCheckpoint::new(seed, strategy, budget)
+    };
+    let mut out = Vec::with_capacity(layers.len());
+    for (lc, layer) in ckpt.layers.iter().zip(layers) {
+        let outcome = lc.to_outcome()?;
+        if let Some((best, _)) = &outcome.result.best {
+            buffer.insert(layer.clone(), best.clone());
+        }
+        out.push(outcome);
+    }
+    let start = ckpt.layers.len();
+    let rest = run_network_from(
+        start,
+        layers,
+        arch,
+        buffer,
+        strategy,
+        budget,
+        seed,
+        make_model,
+        make_mapper,
+        |_, outcome| {
+            ckpt.layers.push(LayerCheckpoint::from_outcome(outcome));
+            ckpt.save(checkpoint_path)
+        },
+    )?;
+    out.extend(rest);
+    Ok(out)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON numbers cannot encode non-finite doubles; encode those as strings
+/// (`"inf"`, `"-inf"`, `"nan"`) and accept both forms when parsing.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "\"nan\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// Minimal JSON reader for checkpoints — the build environment is fully
+/// offline, so no serde_json. Numbers keep their raw token so integer
+/// fields (seeds) round-trip exactly through `u64`.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Raw number token, converted on access.
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                // Seeds are written as strings (see `to_json`).
+                Value::Str(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// Accepts numbers and the `"inf"`/`"-inf"`/`"nan"` string forms.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                Value::Str(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at offset {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at offset {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected byte at offset {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let v = self.value()?;
+                fields.push((key, v));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                self.pos += 4;
+                                // Surrogate pairs are not emitted by our
+                                // writer; reject rather than mis-decode.
+                                let c = char::from_u32(code)
+                                    .ok_or_else(|| "unsupported \\u escape".to_string())?;
+                                out.push(c);
+                            }
+                            _ => return Err(format!("bad escape at offset {}", self.pos)),
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character (multi-byte safe).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest)
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        let c = s.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "bad number".to_string())?;
+            if raw.parse::<f64>().is_err() {
+                return Err(format!("bad number {raw:?} at offset {start}"));
+            }
+            Ok(Value::Num(raw.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reseed_is_deterministic_and_distinct() {
+        assert_eq!(reseed(42, 0), 42);
+        assert_eq!(reseed(42, 1), reseed(42, 1));
+        let seeds: Vec<u64> = (0..8).map(|a| reseed(42, a)).collect();
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j], "attempts {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips_strings_and_numbers() {
+        let v = json::parse(r#"{"a": [1, -2.5e3, "x\"\\\nA"], "b": null, "c": true}"#)
+            .unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\"\\\nA"));
+        assert_eq!(v.get("b"), Some(&json::Value::Null));
+        assert_eq!(v.get("c"), Some(&json::Value::Bool(true)));
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn checkpoint_json_round_trips() {
+        let ckpt = SweepCheckpoint {
+            seed: u64::MAX - 7, // would round through an f64
+            strategy: "by-similarity".to_string(),
+            budget_samples: Some(500),
+            budget_seconds: None,
+            layers: vec![
+                LayerCheckpoint {
+                    name: "conv \"1\"".to_string(),
+                    init_score: f64::INFINITY,
+                    best_score: 1.25e9,
+                    converge_sample: 77,
+                    evaluated: 500,
+                    elapsed_secs: 0.125,
+                    mapping: Some("L0: K4;ord=...".to_string()),
+                    latency_cycles: 1.0e6,
+                    energy_uj: 3.5,
+                },
+                LayerCheckpoint {
+                    name: "dead-layer".to_string(),
+                    init_score: f64::NAN,
+                    best_score: f64::INFINITY,
+                    converge_sample: 0,
+                    evaluated: 10,
+                    elapsed_secs: 0.0,
+                    mapping: None,
+                    latency_cycles: f64::NAN,
+                    energy_uj: f64::NAN,
+                },
+            ],
+        };
+        let parsed = SweepCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(parsed.seed, ckpt.seed);
+        assert_eq!(parsed.strategy, ckpt.strategy);
+        assert_eq!(parsed.budget_samples, ckpt.budget_samples);
+        assert_eq!(parsed.layers.len(), 2);
+        assert_eq!(parsed.layers[0].name, "conv \"1\"");
+        assert_eq!(parsed.layers[0].best_score, 1.25e9);
+        assert!(parsed.layers[0].init_score.is_infinite());
+        assert!(parsed.layers[1].init_score.is_nan());
+        assert_eq!(parsed.layers[1].mapping, None);
+    }
+
+    #[test]
+    fn checkpoint_mismatch_is_rejected() {
+        let layers = vec![problem::Problem::conv2d("l1", 2, 8, 8, 7, 7, 3, 3)];
+        let budget = Budget::samples(100);
+        let ckpt = SweepCheckpoint::new(1, InitStrategy::BySimilarity, budget);
+        assert!(ckpt.check_matches(1, InitStrategy::BySimilarity, budget, &layers).is_ok());
+        assert!(matches!(
+            ckpt.check_matches(2, InitStrategy::BySimilarity, budget, &layers),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(matches!(
+            ckpt.check_matches(1, InitStrategy::Random, budget, &layers),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(matches!(
+            ckpt.check_matches(1, InitStrategy::BySimilarity, Budget::samples(99), &layers),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let mut wrong_layer = ckpt.clone();
+        wrong_layer.layers.push(LayerCheckpoint {
+            name: "other".to_string(),
+            init_score: 0.0,
+            best_score: 0.0,
+            converge_sample: 0,
+            evaluated: 0,
+            elapsed_secs: 0.0,
+            mapping: None,
+            latency_cycles: 0.0,
+            energy_uj: 0.0,
+        });
+        assert!(matches!(
+            wrong_layer.check_matches(1, InitStrategy::BySimilarity, budget, &layers),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_reported() {
+        assert!(matches!(
+            SweepCheckpoint::from_json("not json"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        assert!(matches!(
+            SweepCheckpoint::from_json("{\"version\": 2}"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // Valid JSON, missing required fields.
+        assert!(matches!(
+            SweepCheckpoint::from_json("{\"version\": 1, \"seed\": \"0\"}"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+}

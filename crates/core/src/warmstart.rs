@@ -12,8 +12,8 @@ use arch::Arch;
 use costmodel::CostModel;
 use mappers::{Budget, Mapper, SearchResult};
 use mapping::Mapping;
-use parking_lot::RwLock;
 use problem::Problem;
+use std::sync::RwLock;
 
 use crate::driver::{convergence_sample, Mse};
 
@@ -42,30 +42,43 @@ impl ReplayBuffer {
         ReplayBuffer::default()
     }
 
+    /// Poison-tolerant read guard: a panic in another thread that held the
+    /// lock (e.g. an isolated mapper panic, see `mse::runtime`) must not
+    /// take the replay buffer down with it — entries are plain data and
+    /// every write is a single `push`, so the state is always consistent.
+    fn entries_read(&self) -> std::sync::RwLockReadGuard<'_, Vec<(Problem, Mapping)>> {
+        self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Poison-tolerant write guard (see [`ReplayBuffer::entries_read`]).
+    fn entries_write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<(Problem, Mapping)>> {
+        self.entries.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Stores the optimized mapping for a finished workload.
     pub fn insert(&self, problem: Problem, mapping: Mapping) {
-        self.entries.write().push((problem, mapping));
+        self.entries_write().push((problem, mapping));
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries_read().len()
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries_read().is_empty()
     }
 
     /// The most recently stored entry.
     pub fn last(&self) -> Option<(Problem, Mapping)> {
-        self.entries.read().last().cloned()
+        self.entries_read().last().cloned()
     }
 
     /// The entry with the smallest editing distance to `p` (ties broken
     /// toward the most recent), with that distance.
     pub fn most_similar(&self, p: &Problem) -> Option<(Problem, Mapping, usize)> {
-        let entries = self.entries.read();
+        let entries = self.entries_read();
         entries
             .iter()
             .enumerate()
@@ -82,7 +95,7 @@ impl ReplayBuffer {
     ///
     /// Propagates I/O errors from `w`.
     pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
-        for (p, m) in self.entries.read().iter() {
+        for (p, m) in self.entries_read().iter() {
             writeln!(w, "{}\t{}", problem::codec::to_spec(p), mapping::codec::to_spec(m))?;
         }
         Ok(())
@@ -146,7 +159,50 @@ pub struct LayerOutcome {
 /// each optimized mapping back into `buffer` and seeding each search per
 /// `strategy`. `make_model` binds a cost model per layer; `make_mapper`
 /// builds a fresh mapper per layer (so seeds do not leak across layers).
+#[allow(clippy::too_many_arguments)] // mirrors the sweep's full parameter surface
 pub fn run_network<'m, M, F>(
+    layers: &[Problem],
+    arch: &Arch,
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    make_model: M,
+    make_mapper: F,
+) -> Vec<LayerOutcome>
+where
+    M: FnMut(&Problem) -> Box<dyn CostModel + 'm>,
+    F: FnMut() -> Box<dyn Mapper>,
+{
+    match run_network_from(
+        0,
+        layers,
+        arch,
+        buffer,
+        strategy,
+        budget,
+        seed,
+        make_model,
+        make_mapper,
+        |_, _| Ok::<(), std::convert::Infallible>(()),
+    ) {
+        Ok(out) => out,
+        Err(e) => match e {},
+    }
+}
+
+/// The per-layer sweep loop shared by [`run_network`] and the
+/// checkpointing runtime (`mse::runtime`): starts at layer `start`
+/// (earlier layers are assumed already folded into `buffer`) and calls
+/// `on_layer(i, outcome)` after each layer — a fallible hook so a
+/// checkpoint write failure can abort the sweep cleanly.
+///
+/// Seed derivations depend only on the *global* layer index `i`, never on
+/// `start`, so resuming at layer `k` reproduces exactly the samples a
+/// fresh run would have drawn there.
+#[allow(clippy::too_many_arguments)] // mirrors the sweep's full parameter surface
+pub(crate) fn run_network_from<'m, M, F, E>(
+    start: usize,
     layers: &[Problem],
     arch: &Arch,
     buffer: &ReplayBuffer,
@@ -155,13 +211,14 @@ pub fn run_network<'m, M, F>(
     seed: u64,
     mut make_model: M,
     mut make_mapper: F,
-) -> Vec<LayerOutcome>
+    mut on_layer: impl FnMut(usize, &LayerOutcome) -> Result<(), E>,
+) -> Result<Vec<LayerOutcome>, E>
 where
     M: FnMut(&Problem) -> Box<dyn CostModel + 'm>,
     F: FnMut() -> Box<dyn Mapper>,
 {
-    let mut out = Vec::with_capacity(layers.len());
-    for (i, layer) in layers.iter().enumerate() {
+    let mut out = Vec::with_capacity(layers.len().saturating_sub(start));
+    for (i, layer) in layers.iter().enumerate().skip(start) {
         let model = make_model(layer);
         let mse = Mse::new(model.as_ref());
         let mut mapper = make_mapper();
@@ -188,14 +245,16 @@ where
             buffer.insert(layer.clone(), best.clone());
         }
         let converge_sample = convergence_sample(&result, 0.995);
-        out.push(LayerOutcome {
+        let outcome = LayerOutcome {
             name: layer.name().to_string(),
             init_score,
             result,
             converge_sample,
-        });
+        };
+        on_layer(i, &outcome)?;
+        out.push(outcome);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -13,11 +13,10 @@ use crate::style::{classify, ProductStyle};
 use arch::{Arch, SparseCaps};
 use mapping::{Loop, Mapping, MappingError};
 use problem::{Density, Problem, TensorKind};
-use serde::{Deserialize, Serialize};
 
 /// Traffic observed at one storage level (words accessed at that level's
 /// port, summed over all instances).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LevelTraffic {
     /// Words read out of this level (supplies to children, partial-sum
     /// re-reads, drain reads).
@@ -35,7 +34,7 @@ impl LevelTraffic {
 }
 
 /// Full evaluation breakdown; [`Cost`] is derived from it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Breakdown {
     /// Per-storage-level traffic, outermost (DRAM) first.
     pub per_level: Vec<LevelTraffic>,
@@ -206,7 +205,7 @@ pub fn analyze(
 
     // Capacity: spill factor per level.
     let mut spill = vec![1.0f64; nl];
-    for li in 0..nl {
+    for (li, spill_li) in spill.iter_mut().enumerate().take(nl) {
         if let Some(cap) = arch.level(li).capacity_words {
             let ext = m.tile_extents(li);
             let needed: f64 = tensors
@@ -234,7 +233,7 @@ pub fn analyze(
                         capacity_words: cap,
                     });
                 }
-                spill[li] = needed / cap as f64;
+                *spill_li = needed / cap as f64;
             }
         }
     }

@@ -1,6 +1,5 @@
 //! Cost figures of merit: latency, energy, and EDP (the paper's criterion).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The cost of executing one workload under one mapping.
@@ -8,7 +7,7 @@ use std::fmt;
 /// Units follow the paper: latency in cycles, energy in µJ, so
 /// [`Cost::edp`] is in `cycles·µJ` — directly comparable to the paper's
 /// tables (e.g. Table 2's `3.1E+10 cycles uJ` entries).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cost {
     /// Execution latency in cycles.
     pub latency_cycles: f64,

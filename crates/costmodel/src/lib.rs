@@ -27,8 +27,10 @@
 mod analysis;
 mod cost;
 mod engine;
+pub mod fault;
 pub mod style;
 
 pub use analysis::{analyze, Breakdown, CapacityMode, LevelTraffic};
 pub use cost::Cost;
 pub use engine::{CostModel, DenseModel, SparseModel};
+pub use fault::{FaultConfig, FaultyModel, InjectedFault};

@@ -8,10 +8,9 @@
 
 use mapping::Mapping;
 use problem::Problem;
-use serde::{Deserialize, Serialize};
 
 /// Dataflow style of a mapping with respect to the reduction loops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProductStyle {
     /// Reduction innermost: per-output dot products, accumulator-friendly.
     Inner,

@@ -63,7 +63,9 @@ pub fn jacobi_eigen(a: &Matrix) -> Eigen {
         }
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+    // total_cmp: a NaN-poisoned covariance (e.g. from a faulty cost model
+    // upstream) degrades the ordering instead of panicking the PCA.
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

@@ -91,7 +91,7 @@ impl Mapper for CrossEntropy {
             if scored.len() < elite_count {
                 continue;
             }
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"));
+            scored.sort_by(|a, b| crate::outcome::score_cmp(a.1, b.1));
             let elites = &scored[..elite_count];
             for i in 0..n {
                 let em: f64 =

@@ -202,14 +202,22 @@ impl Gamma {
         let outcomes: Vec<_> = if self.config.parallel_eval && batch.len() >= 8 {
             let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
             let chunk = batch.len().div_ceil(threads);
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = batch
                     .chunks(chunk)
-                    .map(|c| s.spawn(move |_| c.iter().map(|m| evaluator.evaluate(m)).collect::<Vec<_>>()))
+                    .map(|c| s.spawn(move || c.iter().map(|m| evaluator.evaluate(m)).collect::<Vec<_>>()))
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| {
+                        // Re-raise a worker panic with its original payload
+                        // so the resilient runtime (mse::runtime) can still
+                        // classify it — e.g. a fault-injected evaluator
+                        // panic keeps its sentinel type across the join.
+                        h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
+                    .collect()
             })
-            .expect("scope panicked")
         } else {
             batch.iter().map(|m| evaluator.evaluate(m)).collect()
         };
@@ -228,7 +236,7 @@ impl Gamma {
     fn rank(&self, pop: &mut Vec<Indiv>) {
         match self.config.selection {
             Selection::Scalar => {
-                pop.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("scores are not NaN"));
+                pop.sort_by(|a, b| crate::outcome::score_cmp(a.score, b.score));
             }
             Selection::Nsga2 => {
                 let costs: Vec<Option<Cost>> = pop.iter().map(|i| i.cost).collect();
@@ -367,8 +375,7 @@ mod tests {
     fn parallel_eval_matches_serial_results() {
         let (space, model) = setup();
         let eval = EdpEvaluator::new(&model);
-        let mut cfg = GammaConfig::default();
-        cfg.parallel_eval = true;
+        let cfg = GammaConfig { parallel_eval: true, ..GammaConfig::default() };
         let mut rng = SmallRng::seed_from_u64(5);
         let rp = Gamma::with_config(cfg).search(&space, &eval, Budget::samples(200), &mut rng);
         let mut rng = SmallRng::seed_from_u64(5);

@@ -39,6 +39,7 @@ mod hill_climb;
 mod mapper;
 pub mod nsga;
 pub mod operators;
+mod outcome;
 mod random;
 mod reinforce;
 mod standard_ga;
@@ -50,6 +51,7 @@ pub use gamma::{Gamma, GammaConfig};
 pub use hill_climb::HillClimb;
 pub use mapper::{Budget, ConvergencePoint, EdpEvaluator, Evaluator, Mapper, Recorder, SearchResult};
 pub use nsga::Selection;
+pub use outcome::{score_cmp, AttemptRecord, RunError, RunOutcome, RunStatus};
 pub use random::{canonicalize, RandomMapper, RandomPruned};
 pub use reinforce::Reinforce;
 pub use standard_ga::StandardGa;

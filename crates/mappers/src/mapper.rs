@@ -6,7 +6,6 @@
 use costmodel::{Cost, CostModel};
 use mapping::Mapping;
 use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Search budget: the search stops when *any* limit is hit.
@@ -47,7 +46,7 @@ impl Budget {
 
 /// One point of a convergence curve: best-so-far after `samples`
 /// evaluations / `seconds` of wall clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvergencePoint {
     /// Evaluations performed so far.
     pub samples: usize,
@@ -160,11 +159,19 @@ impl<'a> Recorder<'a> {
     /// Records a pre-computed evaluation outcome (used by mappers that
     /// evaluate a population on worker threads and then feed the results
     /// back in a deterministic order).
+    ///
+    /// Non-finite scores or costs (a NaN-poisoned objective, e.g. from a
+    /// faulty cost model) are counted and returned to the caller — the
+    /// mapper may want to steer away from them — but are quarantined from
+    /// the incumbent, the history, and the Pareto archive: a NaN cost
+    /// neither dominates nor is dominated, so one poisoned point would
+    /// otherwise sit in the archive forever.
     pub fn record_outcome(&mut self, m: &Mapping, out: Option<(Cost, f64)>) -> Option<f64> {
         self.evaluated += 1;
-        let Some((cost, score)) = out else {
-            return None;
-        };
+        let (cost, score) = out?;
+        if !(score.is_finite() && cost.latency_cycles.is_finite() && cost.energy_uj.is_finite()) {
+            return Some(score);
+        }
         if self.record_samples {
             self.samples.push((mapping::features::features(m), score));
         }

@@ -43,8 +43,8 @@ pub fn nsga2_order(points: &[(f64, f64)]) -> Vec<usize> {
         if !finite[a] {
             continue;
         }
-        for b in 0..n {
-            if a == b || !finite[b] {
+        for (b, &fb) in finite.iter().enumerate() {
+            if a == b || !fb {
                 continue;
             }
             if dominates(a, b) {
@@ -72,9 +72,9 @@ pub fn nsga2_order(points: &[(f64, f64)]) -> Vec<usize> {
         front += 1;
     }
     // Non-finite points go to a final pseudo-front.
-    for i in 0..n {
-        if front_of[i] == usize::MAX {
-            front_of[i] = front;
+    for f in front_of.iter_mut() {
+        if *f == usize::MAX {
+            *f = front;
         }
     }
 

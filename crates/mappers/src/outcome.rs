@@ -1,0 +1,199 @@
+//! Run-level outcomes for guarded mapper executions: what a resilient
+//! outer loop (see `mse::runtime`) records about each attempt, and the
+//! errors that can end one. Lives next to [`SearchResult`] because a
+//! [`RunOutcome`] is exactly "a `SearchResult`, or the reason there is
+//! none, plus the audit trail of how we got it".
+
+use crate::mapper::SearchResult;
+use std::cmp::Ordering;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a guarded mapper run produced no usable result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The mapper (or the evaluator under it) panicked; the payload
+    /// message is preserved for diagnostics.
+    MapperPanicked {
+        /// Panic payload rendered to text (`&str`/`String` payloads; other
+        /// payload types are reported as opaque).
+        message: String,
+    },
+    /// The run finished but its best score is not a finite number — a NaN
+    /// or infinite objective can't be ranked against other mappers.
+    NonFiniteScore {
+        /// The offending score.
+        score: f64,
+    },
+    /// The run finished without evaluating a single legal mapping.
+    NoLegalMapping,
+    /// The watchdog hard-stopped the mapper after it overran its budget
+    /// (plus the grace window).
+    BudgetOverrun {
+        /// Evaluations performed when the watchdog fired.
+        evaluated: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MapperPanicked { message } => write!(f, "mapper panicked: {message}"),
+            RunError::NonFiniteScore { score } => {
+                write!(f, "run returned non-finite best score {score}")
+            }
+            RunError::NoLegalMapping => write!(f, "run evaluated no legal mapping"),
+            RunError::BudgetOverrun { evaluated } => {
+                write!(f, "watchdog stopped the mapper after {evaluated} evaluations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One attempt of a guarded run (retries get one record each).
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// Seed this attempt ran with (retries perturb the original seed).
+    pub seed: u64,
+    /// `Err` describes why the attempt was rejected; `Ok` means accepted.
+    pub error: Option<RunError>,
+    /// Cost-model evaluations the attempt consumed.
+    pub evaluated: usize,
+    /// Wall-clock time the attempt consumed.
+    pub elapsed: Duration,
+    /// Best (lowest) score the attempt saw, `INFINITY` if none.
+    pub best_score: f64,
+}
+
+/// Terminal status of a guarded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// First attempt produced a usable result.
+    Succeeded,
+    /// A retry (with a perturbed seed) produced a usable result.
+    Recovered,
+    /// The watchdog hard-stopped a mapper that ignored its budget; the
+    /// result (if any) is the watchdog's shadow record, truncated at the
+    /// stop point.
+    WatchdogStopped,
+    /// Every attempt failed; `result` holds salvaged partial state if any
+    /// attempt evaluated at least one legal mapping before dying.
+    Failed,
+}
+
+/// Outcome of one guarded `Mapper × Evaluator` execution: the portfolio
+/// and sweep unit of account. A panicking or runaway mapper yields a
+/// `RunOutcome` like any other — it never takes the process down.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Display name of the mapper that ran.
+    pub mapper: String,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Every attempt, in order (length 1 when nothing went wrong).
+    pub attempts: Vec<AttemptRecord>,
+    /// The accepted (or salvaged) search result, if any attempt produced
+    /// legal evaluations.
+    pub result: Option<SearchResult>,
+}
+
+impl RunOutcome {
+    /// Best score for ranking: the result's score, or `INFINITY` when the
+    /// run produced nothing usable (so failed runs order last).
+    pub fn best_score(&self) -> f64 {
+        self.result.as_ref().map_or(f64::INFINITY, |r| r.best_score)
+    }
+
+    /// Whether the outcome carries a finite-scored result.
+    pub fn is_usable(&self) -> bool {
+        self.result.as_ref().is_some_and(|r| r.best_score.is_finite() && r.best.is_some())
+    }
+
+    /// Total evaluations across all attempts (the true budget spent,
+    /// including failed attempts).
+    pub fn total_evaluated(&self) -> usize {
+        self.attempts.iter().map(|a| a.evaluated).sum()
+    }
+}
+
+/// NaN-safe score ordering: finite scores first (ascending), then
+/// infinities, then NaNs — so one poisoned score can never panic a sort
+/// (`partial_cmp().expect(...)` was the seed-state idiom) or float to the
+/// top of a portfolio ranking.
+pub fn score_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_finite(), b.is_finite()) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        // total_cmp orders -NaN < -inf and +inf < +NaN; scores are
+        // non-negative in practice, so NaNs land last.
+        _ => a.total_cmp(&b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(status: RunStatus, result: Option<SearchResult>) -> RunOutcome {
+        RunOutcome { mapper: "m".into(), status, attempts: Vec::new(), result }
+    }
+
+    fn result_with_score(score: f64) -> SearchResult {
+        SearchResult {
+            best: None,
+            best_score: score,
+            history: Vec::new(),
+            samples: Vec::new(),
+            pareto: Vec::new(),
+            evaluated: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn score_cmp_orders_finite_inf_nan() {
+        let mut v = [f64::NAN, 2.0, f64::INFINITY, 1.0, f64::NEG_INFINITY, f64::NAN];
+        v.sort_by(|a, b| score_cmp(*a, *b));
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert!(v[2].is_infinite());
+        assert!(v[3].is_infinite());
+        assert!(v[4].is_nan() && v[5].is_nan());
+    }
+
+    #[test]
+    fn failed_outcomes_rank_last() {
+        let ok = outcome(RunStatus::Succeeded, Some(result_with_score(10.0)));
+        let failed = outcome(RunStatus::Failed, None);
+        let poisoned = outcome(RunStatus::Succeeded, Some(result_with_score(f64::NAN)));
+        let mut v = [&poisoned, &ok, &failed];
+        v.sort_by(|a, b| score_cmp(a.best_score(), b.best_score()));
+        assert_eq!(v[0].best_score(), 10.0);
+        assert!(!failed.is_usable() && !poisoned.is_usable());
+    }
+
+    #[test]
+    fn run_error_displays() {
+        let e = RunError::MapperPanicked { message: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+        assert!(RunError::NonFiniteScore { score: f64::NAN }.to_string().contains("NaN"));
+        assert!(RunError::NoLegalMapping.to_string().contains("no legal"));
+    }
+
+    #[test]
+    fn total_evaluated_sums_attempts() {
+        let mut o = outcome(RunStatus::Recovered, Some(result_with_score(1.0)));
+        for (i, n) in [(0u64, 40usize), (1, 60)] {
+            o.attempts.push(AttemptRecord {
+                seed: i,
+                error: None,
+                evaluated: n,
+                elapsed: Duration::ZERO,
+                best_score: 1.0,
+            });
+        }
+        assert_eq!(o.total_evaluated(), 100);
+    }
+}

@@ -200,7 +200,7 @@ impl Mapper for StandardGa {
             .collect();
 
         while !rec.done() {
-            pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are not NaN"));
+            pop.sort_by(|a, b| crate::outcome::score_cmp(a.1, b.1));
             pop.truncate(elite_count);
             let n_children = pop_size - elite_count;
             for _ in 0..n_children {

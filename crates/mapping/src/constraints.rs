@@ -9,11 +9,10 @@
 
 use crate::factorization::prime_factors;
 use crate::map::Mapping;
-use serde::{Deserialize, Serialize};
 
 /// A set of constraints for a problem with `num_dims` dimensions on a
 /// hierarchy with `num_levels` storage levels.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Constraints {
     num_dims: usize,
     num_levels: usize,

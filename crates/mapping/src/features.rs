@@ -34,10 +34,10 @@ pub fn features(mapping: &Mapping) -> Vec<f64> {
             pos[dim] = i;
         }
         let denom = (d.max(2) - 1) as f64;
-        for dim in 0..d {
+        for (dim, &p) in pos.iter().enumerate().take(d) {
             out.push((level.temporal[dim] as f64).log2());
             out.push((level.spatial[dim] as f64).log2());
-            out.push(pos[dim] as f64 / denom);
+            out.push(p as f64 / denom);
         }
     }
     out

@@ -17,11 +17,10 @@
 use crate::factorization::{factorization_from_target_logs, prime_factors};
 use arch::Arch;
 use problem::Problem;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Mapping decisions at one storage level.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LevelMapping {
     /// Loop order: permutation of dimension indices, outermost first.
     pub order: Vec<usize>,
@@ -110,7 +109,7 @@ impl std::error::Error for MappingError {}
 
 /// A complete mapping: one [`LevelMapping`] per storage level, outermost
 /// first.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Mapping {
     levels: Vec<LevelMapping>,
 }
@@ -166,8 +165,8 @@ impl Mapping {
         let d = self.num_dims();
         let mut ext = vec![1u64; d];
         for l in &self.levels[level..] {
-            for dim in 0..d {
-                ext[dim] *= l.temporal[dim] * l.spatial[dim];
+            for (dim, e) in ext.iter_mut().enumerate().take(d) {
+                *e *= l.temporal[dim] * l.spatial[dim];
             }
         }
         ext
@@ -344,7 +343,7 @@ impl Mapping {
 
         // Orders: map dims by name where possible; unmatched dims keep their
         // canonical position appended at the end (innermost).
-        for li in 0..nl {
+        for (li, level) in levels.iter_mut().enumerate().take(nl) {
             let mut order: Vec<usize> = Vec::with_capacity(d_to);
             for &od in &self.levels[li].order {
                 let name = from.dims()[od].name;
@@ -357,7 +356,7 @@ impl Mapping {
                     order.push(nd);
                 }
             }
-            levels[li].order = order;
+            level.order = order;
         }
 
         for nd in 0..d_to {

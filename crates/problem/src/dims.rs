@@ -1,6 +1,5 @@
 //! Iteration-space dimension names and definitions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Canonical name of an iteration dimension.
@@ -9,7 +8,7 @@ use std::fmt;
 /// the contracted dimension in both conventions). Names are carried for
 /// display, workload-similarity computation (warm-start), and constructing
 /// tensor projections; the core machinery works on dimension *indices*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DimName {
     /// Batch.
     B,
@@ -69,7 +68,7 @@ impl fmt::Display for DimName {
 }
 
 /// One iteration dimension of a [`crate::Problem`]: a name and a loop bound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimDef {
     /// Display/semantic name.
     pub name: DimName,

@@ -1,9 +1,8 @@
 //! Tensor projections: how iteration-space tiles map to data-space footprints.
 
-use serde::{Deserialize, Serialize};
 
 /// One coordinate of a tensor's data space, expressed over iteration dims.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProjTerm {
     /// The coordinate equals one iteration dimension (by index into the
     /// problem's dimension list). A tile of extent `t` in that dimension
@@ -44,7 +43,7 @@ impl ProjTerm {
 ///
 /// The data-space footprint of an iteration-space tile is the product of the
 /// per-coordinate extents.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Projection {
     terms: Vec<ProjTerm>,
 }

@@ -3,12 +3,11 @@
 
 use crate::dims::{DimDef, DimName};
 use crate::projection::{ProjTerm, Projection};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// High-level operator class; informational (the cost model is driven purely
 /// by dims + projections).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatorKind {
     /// Standard 7-loop 2D convolution.
     Conv2d,
@@ -33,7 +32,7 @@ impl fmt::Display for OperatorKind {
 }
 
 /// Role of a tensor in the dataflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TensorKind {
     /// Read-only activation input.
     Input,
@@ -45,7 +44,7 @@ pub enum TensorKind {
 }
 
 /// One tensor of a [`Problem`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TensorDef {
     /// Display name ("Inputs", "Weights", "Outputs").
     pub name: String,
@@ -60,7 +59,7 @@ pub struct TensorDef {
 /// `1.0` everywhere is a dense workload. The paper treats density as a
 /// *workload feature* (§3), so it lives here rather than in the cost model;
 /// the sparse cost model consumes it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Density {
     /// Weight density (fixed once a model is pruned).
     pub weight: f64,
@@ -110,7 +109,7 @@ impl Eq for Density {}
 /// One DNN layer/operator workload: named dimensions with bounds plus tensor
 /// projections. This is the unit of map-space exploration (the paper targets
 /// per-layer mapping; inter-layer fusion is out of scope, §3 footnote 3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Problem {
     name: String,
     op: OperatorKind,

@@ -9,7 +9,6 @@ use mapping::MapSpace;
 use problem::Problem;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 /// Surrogate training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -44,7 +43,7 @@ impl Default for TrainConfig {
 }
 
 /// Training outcome diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainReport {
     /// Mean squared error on the training set (normalized targets).
     pub train_mse: f64,
@@ -57,7 +56,7 @@ pub struct TrainReport {
 /// A trained surrogate bound to the accelerator configuration whose data it
 /// was trained on (the paper's key limitation: it does *not* generalize to
 /// other accelerator configurations, §4.3.2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Surrogate {
     mlp: Mlp,
     x_mean: Vec<f64>,

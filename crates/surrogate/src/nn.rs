@@ -4,10 +4,9 @@
 //! the loss gradient to update its solution").
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One fully connected layer with its Adam state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Dense {
     inputs: usize,
     outputs: usize,
@@ -57,13 +56,12 @@ impl Dense {
     /// returns the gradient w.r.t. the input.
     fn backward(&mut self, x: &[f64], grad_out: &[f64]) -> Vec<f64> {
         let mut grad_in = vec![0.0; self.inputs];
-        for o in 0..self.outputs {
-            let g = grad_out[o];
+        for (o, &g) in grad_out.iter().enumerate().take(self.outputs) {
             self.gb[o] += g;
             let row = o * self.inputs;
-            for i in 0..self.inputs {
+            for (i, gi) in grad_in.iter_mut().enumerate() {
                 self.gw[row + i] += g * x[i];
-                grad_in[i] += g * self.w[row + i];
+                *gi += g * self.w[row + i];
             }
         }
         grad_in
@@ -72,11 +70,10 @@ impl Dense {
     /// Input gradient only (inference-time; parameters untouched).
     fn input_grad(&self, grad_out: &[f64]) -> Vec<f64> {
         let mut grad_in = vec![0.0; self.inputs];
-        for o in 0..self.outputs {
-            let g = grad_out[o];
+        for (o, &g) in grad_out.iter().enumerate().take(self.outputs) {
             let row = o * self.inputs;
-            for i in 0..self.inputs {
-                grad_in[i] += g * self.w[row + i];
+            for (i, gi) in grad_in.iter_mut().enumerate() {
+                *gi += g * self.w[row + i];
             }
         }
         grad_in
@@ -110,7 +107,7 @@ impl Dense {
 
 /// A multilayer perceptron with ReLU hidden activations and a linear
 /// output layer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Dense>,
 }

@@ -1,0 +1,269 @@
+//! Offline stand-in for the parts of `criterion` the microbenches use.
+//!
+//! The build environment is fully offline (see DESIGN.md §5), so this
+//! crate provides the same macro/type surface — [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — backed by a simple median-of-batches timer
+//! instead of criterion's full statistical machinery. Good enough to spot
+//! order-of-magnitude regressions from `cargo bench`; not a substitute
+//! for rigorous statistics.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed batches.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Untimed warm-up duration before measuring.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints a `name: median time/iter` line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, self.measurement_time, self.warm_up_time, f);
+        self
+    }
+
+    /// Opens a named benchmark group (subset of
+    /// `criterion::Criterion::benchmark_group`). The group starts from this
+    /// driver's configuration; its setters override per-group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        }
+    }
+}
+
+/// Named group of benchmarks sharing a configuration (subset of
+/// `criterion::BenchmarkGroup`). Benchmark lines print as `group/name`.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed batches per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed batches.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Untimed warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints a `group/name: median time/iter` line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_bench(&full, self.sample_size, self.measurement_time, self.warm_up_time, f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) {
+    // Warm-up: run the closure untimed until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    let mut iters_per_batch = 1u64;
+    while warm_start.elapsed() < warm_up_time {
+        let mut b = Bencher { iters: iters_per_batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        // Grow the batch until one batch takes ~1/sample_size of the
+        // measurement budget, so batches are long enough to time.
+        if b.elapsed * (sample_size as u32) < measurement_time {
+            iters_per_batch = iters_per_batch.saturating_mul(2);
+        }
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    let run_start = Instant::now();
+    for _ in 0..sample_size {
+        if run_start.elapsed() > measurement_time {
+            break;
+        }
+        let mut b = Bencher { iters: iters_per_batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters_per_batch as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(f64::NAN);
+    println!("{name:<40} {} /iter ({} batches x {iters_per_batch} iters)",
+        format_time(median), per_iter.len());
+}
+
+fn format_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Per-batch timer handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group (subset of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $( $target(&mut { $cfg }); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn format_time_picks_units() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(2e-3), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 us");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+        assert_eq!(format_time(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn benchmark_group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("macro_path", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(group_default, sample_bench);
+    criterion_group! {
+        name = group_cfg;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        targets = sample_bench
+    }
+
+    // criterion_main! expands to `fn main`; compile-check it in a nested
+    // module where the extra `main` is inert.
+    #[allow(dead_code)]
+    mod main_macro {
+        criterion_main!(super::group_cfg);
+    }
+
+    #[test]
+    fn group_macros_run() {
+        group_cfg();
+        let _ = group_default as fn();
+    }
+}

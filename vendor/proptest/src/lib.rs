@@ -1,0 +1,275 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Same motivation as the in-tree `rand` shim: the build environment is
+//! fully offline, so the property-test surface the workspace consumes is
+//! reimplemented here behind the identical module paths — the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros,
+//! [`strategy::Strategy`] with `prop_map`, range and tuple strategies,
+//! [`arbitrary::any`], and [`test_runner::ProptestConfig`].
+//!
+//! Semantics are simplified but honest: each property runs for
+//! `ProptestConfig::cases` deterministic cases (seeded from the property
+//! name, so failures reproduce run-to-run); there is no shrinking — the
+//! failing case's message is reported directly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A value generator (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A/a);
+    tuple_strategy!(A/a, B/b);
+    tuple_strategy!(A/a, B/b, C/c);
+    tuple_strategy!(A/a, B/b, C/c, D/d);
+    tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+    tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+}
+
+/// `any::<T>()` support (subset of `proptest::arbitrary`).
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of deterministic cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// The glob-import surface property tests use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Deterministic per-property RNG: seeded from the property name so a
+/// failure reproduces on every run without recording a seed file.
+pub fn rng_for(name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Declares deterministic property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        #[test]
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $( let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng); )+
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __cfg.cases, __msg,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Property assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($a), stringify!($b), __a, __b,
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_for_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = crate::rng_for("x");
+        let mut b = crate::rng_for("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::rng_for("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_any_compose(n in 1u64..100, k in 1usize..5, seed in any::<u64>()) {
+            prop_assert!((1..100).contains(&n));
+            prop_assert!((1..5).contains(&k));
+            // seed spans the full u64 range; just consume it.
+            prop_assert_eq!(seed, seed);
+        }
+
+        #[test]
+        fn prop_map_applies(v in (1u64..4, 1u64..4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..16).contains(&v));
+        }
+    }
+}

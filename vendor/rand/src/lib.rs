@@ -1,0 +1,286 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! every external dependency must live in-tree (see DESIGN.md §5). This
+//! crate reimplements the exact API surface the workspace consumes —
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], the [`Rng`]
+//! sampling methods (`gen_range`, `gen_bool`), and
+//! [`seq::SliceRandom::shuffle`] — with the same module paths, so source
+//! files keep their `use rand::...` imports unchanged.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, the same
+//! algorithm family `rand 0.8` uses for `SmallRng` on 64-bit targets.
+//! Streams are deterministic given a seed, which is all the workspace
+//! relies on (explicit seeds everywhere; no test pins exact draw values).
+
+/// Core trait: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly distributed `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps a random word to `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, non-cryptographic PRNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as rand_core does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Uniform-distribution plumbing (subset of `rand::distributions`).
+pub mod distributions {
+    /// Range sampling (subset of `rand::distributions::uniform`).
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty => $u:ty),* $(,)?) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as $u).wrapping_sub(self.start as $u);
+                        let off = sample_below(rng, span as u64) as $u;
+                        (self.start as $u).wrapping_add(off) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as $u).wrapping_sub(lo as $u);
+                        if span as u64 == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        let off = sample_below(rng, span as u64 + 1) as $u;
+                        (lo as $u).wrapping_add(off) as $t
+                    }
+                }
+            )*};
+        }
+
+        uniform_int!(
+            u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+            i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+        );
+
+        /// Uniform integer in `[0, n)` via 128-bit multiply-shift (Lemire
+        /// without the rejection pass; the ≤ 2⁻⁶⁴·n bias is irrelevant for
+        /// search stochasticity).
+        fn sample_below<G: RngCore + ?Sized>(rng: &mut G, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        macro_rules! uniform_float {
+            ($($t:ty),* $(,)?) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let u = crate::unit_f64(rng.next_u64()) as $t;
+                        let v = self.start + (self.end - self.start) * u;
+                        // Guard against rounding up to the excluded bound.
+                        if v >= self.end { self.start } else { v }
+                    }
+                }
+            )*};
+        }
+
+        uniform_float!(f32, f64);
+    }
+}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    use crate::{Rng, RngCore};
+
+    /// Slice extensions (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..7);
+            assert!(x < 7);
+            let y: u64 = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&y));
+            let z: i32 = rng.gen_range(-4..8);
+            assert!((-4..8).contains(&z));
+            let f: f64 = rng.gen_range(-0.01..0.01);
+            assert!((-0.01..0.01).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 produced {hits}/10000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn choose_picks_existing_elements() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let v = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
