@@ -4,8 +4,7 @@
 //! our defaults sit in a robust region of the hyper-parameter space, so
 //! the paper-facing comparisons are not artifacts of a tuned-for-us Gamma.
 
-use bench::{budget, edp_fmt, geomean, header};
-use costmodel::DenseModel;
+use bench::{budget, edp_fmt, geomean, guarded_dense, header};
 use mappers::{Budget, Gamma, GammaConfig, Selection};
 use mse::Mse;
 
@@ -30,7 +29,7 @@ fn main() {
     for (name, cfg) in &variants {
         let mut per_workload = Vec::new();
         for w in &workloads {
-            let model = DenseModel::new(w.clone(), arch.clone());
+            let model = guarded_dense(w, &arch);
             let mse = Mse::new(&model);
             let mut best = f64::INFINITY;
             for seed in 0..3 {

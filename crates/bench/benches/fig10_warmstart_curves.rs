@@ -4,7 +4,6 @@
 
 use arch::Arch;
 use bench::{budget, checkpoints, curve, edp_fmt, header};
-use costmodel::DenseModel;
 use mappers::{Budget, Gamma};
 use mse::{run_network, samples_to_reach, InitStrategy, ReplayBuffer};
 
@@ -23,7 +22,7 @@ fn main() {
             strategy,
             Budget::samples(samples),
             10,
-            |p| Box::new(DenseModel::new(p.clone(), arch.clone())),
+            |p| bench::guarded_dense_box(p, &arch),
             || Box::new(Gamma::new()),
         )
     };

@@ -19,7 +19,7 @@
 //! budgets Random-Pruned is competitive because its per-sample cost is
 //! lowest.
 
-use bench::{budget, checkpoints, curve, edp_fmt, full_scale, header, result_row};
+use bench::{budget, checkpoints, curve, edp_fmt, full_scale, guarded_dense, header, result_row};
 use costmodel::DenseModel;
 use mappers::{Budget, Gamma, Mapper, RandomPruned};
 use mse::Mse;
@@ -61,7 +61,7 @@ fn main() {
     for arch_cfg in &arches {
         for (wi, w) in workloads.iter().enumerate() {
             header(&format!("{} on {}", w.name(), arch_cfg.name()));
-            let model = DenseModel::new(w.clone(), arch_cfg.clone());
+            let model = guarded_dense(w, arch_cfg);
             let mse = Mse::new(&model);
 
             let mappers: Vec<(&str, Box<dyn Mapper>)> = vec![

@@ -6,8 +6,7 @@
 //! Expected shape (paper §4.4.1): tile-only exploration dominates; order-
 //! and parallelism-only trail far behind; full Gamma is best.
 
-use bench::{budget, edp_fmt, geomean, header, result_row};
-use costmodel::DenseModel;
+use bench::{budget, edp_fmt, geomean, guarded_dense, header, result_row};
 use mappers::{Budget, Gamma};
 use mse::Mse;
 
@@ -33,7 +32,7 @@ fn main() {
         variants.iter().map(|(n, _)| (n.to_string(), Vec::new())).collect();
     for w in &workloads {
         header(w.name());
-        let model = DenseModel::new(w.clone(), arch.clone());
+        let model = guarded_dense(w, &arch);
         let mse = Mse::new(&model);
         let mut best_full = f64::INFINITY;
         let mut scores = Vec::new();

@@ -5,8 +5,7 @@
 //! than standard GA; disabling crossover hurts substantially;
 //! crossover-only is also inadequate.
 
-use bench::{budget, geomean, header, result_row};
-use costmodel::DenseModel;
+use bench::{budget, geomean, guarded_dense, header, result_row};
 use mappers::{Budget, Gamma, Mapper, StandardGa};
 use mse::Mse;
 
@@ -32,7 +31,7 @@ fn main() {
         variants.iter().map(|(n, _)| (n.to_string(), Vec::new())).collect();
     for w in &workloads {
         header(w.name());
-        let model = DenseModel::new(w.clone(), arch.clone());
+        let model = guarded_dense(w, &arch);
         let mse = Mse::new(&model);
         let mut best_full = f64::INFINITY;
         let mut scores = Vec::new();

@@ -9,7 +9,6 @@
 
 use arch::Arch;
 use bench::{budget, geomean, header};
-use costmodel::DenseModel;
 use mappers::{Budget, Gamma};
 use mse::{run_network, InitStrategy, ReplayBuffer};
 use problem::Problem;
@@ -28,7 +27,7 @@ fn run(
         strategy,
         Budget::samples(samples),
         9,
-        |p| Box::new(DenseModel::new(p.clone(), arch.clone())),
+        |p| bench::guarded_dense_box(p, arch),
         || Box::new(Gamma::new()),
     )
     .into_iter()

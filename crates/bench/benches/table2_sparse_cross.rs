@@ -7,8 +7,7 @@
 //! does not port to sparse workloads and vice versa.
 
 use arch::SparseCaps;
-use bench::{budget, edp_fmt, header};
-use costmodel::SparseModel;
+use bench::{budget, edp_fmt, guarded_sparse, header};
 use mappers::{Budget, EdpEvaluator, Gamma};
 use mse::{weight_density_sweep, Mse};
 use problem::Density;
@@ -35,8 +34,7 @@ fn main() {
         // single-run search variance at quick-mode budgets.
         let mut tuned = Vec::new();
         for &dw in &densities {
-            let model =
-                SparseModel::new(w.clone(), arch.clone(), caps, Density::weight_sparse(dw));
+            let model = guarded_sparse(w, &arch, caps, Density::weight_sparse(dw));
             let mse = Mse::new(&model);
             let eval = EdpEvaluator::new(&model);
             let r = [2u64, 12, 22]

@@ -9,9 +9,8 @@
 //! at density ≤ 0.1.
 
 use arch::SparseCaps;
-use bench::{budget, edp_fmt, header, ForcedOrderEvaluator};
+use bench::{budget, edp_fmt, guarded_sparse, header, ForcedOrderEvaluator};
 use costmodel::style::{order_reduction_innermost, order_reduction_outermost};
-use costmodel::SparseModel;
 use mappers::{Budget, EdpEvaluator, Gamma, GammaConfig};
 use mse::Mse;
 use problem::Density;
@@ -39,8 +38,7 @@ fn main() {
     for &dw in &densities {
         print!("{dw:>8} |");
         for w in &workloads {
-            let model =
-                SparseModel::new(w.clone(), arch.clone(), caps, Density::weight_sparse(dw));
+            let model = guarded_sparse(w, &arch, caps, Density::weight_sparse(dw));
             let mse = Mse::new(&model);
             let base_eval = EdpEvaluator::new(&model);
             // The datapath style is pinned at the innermost level; outer

@@ -8,8 +8,7 @@
 //! relative performance).
 
 use arch::SparseCaps;
-use bench::{budget, edp_fmt, geomean, header};
-use costmodel::SparseModel;
+use bench::{budget, edp_fmt, geomean, guarded_sparse, header};
 use mappers::{Budget, Gamma};
 use mse::{
     density_sweep, Mse, SparsityAwareEvaluator, StaticDensityEvaluator,
@@ -33,7 +32,7 @@ fn main() {
     let mut overall = Vec::new();
     for w in &workloads {
         header(&format!("{}, {}", w.name(), arch.name()));
-        let model = SparseModel::new(w.clone(), arch.clone(), caps, Density::DENSE);
+        let model = guarded_sparse(w, &arch, caps, Density::DENSE);
         let mse = Mse::new(&model);
 
         // Two independent seeds per strategy; keep the better run (search

@@ -6,13 +6,43 @@
 //! `MSE_FULL=1` the paper-scale budgets (e.g. 5,000 samples per mapper run,
 //! Fig. 3) are used.
 
-use costmodel::{Cost, CostModel};
+use arch::{Arch, SparseCaps};
+use costmodel::{
+    Cost, CostModel, DenseModel, GuardConfig, GuardPolicy, GuardedModel, SparseModel,
+};
 use mappers::{ConvergencePoint, Evaluator, SearchResult};
 use mapping::Mapping;
+use problem::{Density, Problem};
 
 /// Whether paper-scale budgets were requested.
 pub fn full_scale() -> bool {
     std::env::var("MSE_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Dense analytical model wrapped in Reject-policy invariant guarding.
+/// Figure regeneration runs guarded (EXPERIMENTS.md): a corrupted
+/// evaluation quarantines the mapping instead of silently skewing a table.
+pub fn guarded_dense(p: &Problem, a: &Arch) -> GuardedModel<DenseModel> {
+    GuardedModel::dense(DenseModel::new(p.clone(), a.clone()), GuardPolicy::Reject)
+}
+
+/// Boxed [`guarded_dense`] for harnesses that take model factories.
+pub fn guarded_dense_box(p: &Problem, a: &Arch) -> Box<dyn CostModel> {
+    Box::new(guarded_dense(p, a))
+}
+
+/// Sparse counterpart of [`guarded_dense`], with density-aware guard
+/// floors matching the model's compression provisioning.
+pub fn guarded_sparse(
+    p: &Problem,
+    a: &Arch,
+    caps: SparseCaps,
+    d: Density,
+) -> GuardedModel<SparseModel> {
+    GuardedModel::new(
+        SparseModel::new(p.clone(), a.clone(), caps, d),
+        GuardConfig::sparse(GuardPolicy::Reject, &caps, d),
+    )
 }
 
 /// Picks the sample budget: `full` under `MSE_FULL=1`, else `quick`.

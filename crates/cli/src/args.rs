@@ -7,6 +7,8 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// First positional token (the subcommand).
     pub command: Option<String>,
+    /// Positional tokens after the subcommand (e.g. file paths).
+    pub positionals: Vec<String>,
     options: BTreeMap<String, String>,
     flags: Vec<String>,
 }
@@ -30,6 +32,8 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else {
+                out.positionals.push(tok);
             }
         }
         out
@@ -86,6 +90,14 @@ mod tests {
         let a = parse("search --samples abc");
         assert!(a.get_num::<usize>("samples", 1).is_err());
         assert_eq!(a.get_num::<usize>("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn collects_positionals_after_the_command() {
+        let a = parse("validate specs/arch.toml specs/conv.toml --strict");
+        assert_eq!(a.command.as_deref(), Some("validate"));
+        assert_eq!(a.positionals, vec!["specs/arch.toml", "specs/conv.toml"]);
+        assert!(a.flag("strict"));
     }
 
     #[test]

@@ -6,16 +6,19 @@
 //! mapex sweep    --model vgg16 --arch accel-b --samples 1000 --warm-start --buffer vgg.replay
 //! mapex sweep    --model vgg16 --arch accel-b --samples 1000 --resume vgg.ckpt
 //! mapex size     --problem "CONV2D;c4;B=16,K=256,C=256,Y=14,X=14,R=3,S=3" --arch accel-b
+//! mapex validate examples/specs/edge_npu.toml examples/specs/resnet_conv3.toml
 //! mapex zoo
 //! ```
 
 mod args;
 
 use args::Args;
-use costmodel::{CostModel, DenseModel, SparseModel};
+use costmodel::{
+    CostModel, DenseModel, GuardAudit, GuardConfig, GuardPolicy, GuardedModel, SparseModel,
+};
 use mappers::{
-    Budget, CrossEntropy, Exhaustive, Gamma, HillClimb, Mapper, RandomMapper, RandomPruned,
-    Reinforce, RunStatus, SimulatedAnnealing, StandardGa,
+    Budget, CrossEntropy, EdpEvaluator, Exhaustive, Gamma, HillClimb, Mapper, RandomMapper,
+    RandomPruned, Reinforce, RunStatus, SimulatedAnnealing, StandardGa,
 };
 use mse::{
     run_network, run_network_checkpointed, CheckpointError, InitStrategy, Mse, ReplayBuffer,
@@ -32,6 +35,7 @@ commands:
   evaluate  cost one mapping on one workload
   sweep     map every layer of a zoo model (optionally warm-started)
   size      report the map-space size
+  validate  strictly check arch/problem spec files (.toml) without running
   zoo       list built-in models and workloads
 
 common options:
@@ -45,6 +49,9 @@ common options:
   --timeout S            hard wall-clock cap on top of the budget; a mapper
                          that ignores it is stopped by the watchdog
   --retries N            retry a failed search with perturbed seeds (default 2)
+  --guard MODE           reject | warn | off: check physical invariants on
+                         every cost-model evaluation and quarantine
+                         violations                  (default reject)
   --seed N               RNG seed                    (default 0)
   --weight-density D     sparse weights (enables the sparse model)
   --input-density D      sparse activations (enables the sparse model)
@@ -103,6 +110,7 @@ fn main() -> ExitCode {
         Some("evaluate") => cmd_evaluate(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("size") => cmd_size(&args),
+        Some("validate") => cmd_validate(&args),
         Some("zoo") => cmd_zoo(),
         _ => {
             eprint!("{USAGE}");
@@ -157,6 +165,27 @@ fn make_model(
     }
 }
 
+/// `--guard reject|warn|off` (default reject: evaluations are checked
+/// against physical invariants, and violating mappings are quarantined).
+fn parse_guard(args: &Args) -> Result<Option<GuardPolicy>, CliError> {
+    match args.get_or("guard", "reject") {
+        "reject" => Ok(Some(GuardPolicy::Reject)),
+        "warn" => Ok(Some(GuardPolicy::Warn)),
+        "off" => Ok(None),
+        other => Err(input(format!("unknown --guard `{other}` (reject | warn | off)"))),
+    }
+}
+
+/// Guard configuration matching the model `make_model` builds: the sparse
+/// model needs density-aware traffic/capacity floors, the dense one does
+/// not.
+fn guard_config(policy: GuardPolicy, density: Option<Density>) -> GuardConfig {
+    match density {
+        Some(d) => GuardConfig::sparse(policy, &arch::SparseCaps::flexible(), d),
+        None => GuardConfig::new(policy),
+    }
+}
+
 fn make_mapper(name: &str) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
         "gamma" => Box::new(Gamma::new()),
@@ -200,14 +229,36 @@ fn parse_policy(args: &Args) -> Result<RunPolicy, CliError> {
 fn cmd_search(args: &Args) -> Result<(), CliError> {
     let p = parse_problem(args)?;
     let a = parse_arch(args)?;
-    let model = make_model(&p, &a, parse_density(args)?);
+    let density = parse_density(args)?;
+    let model = make_model(&p, &a, density);
     let mapper = make_mapper(args.get_or("mapper", "gamma"))?;
     let budget = parse_budget(args)?;
     let seed: u64 = args.get_num("seed", 0).map_err(input)?;
     let policy = parse_policy(args)?;
 
-    let mse = Mse::new(model.as_ref());
-    let outcome = mse.run_guarded(mapper.as_ref(), budget, seed, policy);
+    let outcome = match parse_guard(args)? {
+        None => Mse::new(model.as_ref()).run_guarded(mapper.as_ref(), budget, seed, policy),
+        Some(gp) => {
+            let guarded = GuardedModel::new(model, guard_config(gp, density));
+            let evaluator = EdpEvaluator::new(&guarded);
+            let outcome = Mse::new(&guarded).run_guarded_audited(
+                mapper.as_ref(),
+                &evaluator,
+                budget,
+                seed,
+                policy,
+                &guarded,
+            );
+            let report = guarded.report();
+            if report.violations > 0 {
+                eprintln!(
+                    "guard: {} invariant violation(s) detected, {} evaluation(s) quarantined",
+                    report.violations, report.rejections
+                );
+            }
+            outcome
+        }
+    };
     for (i, attempt) in outcome.attempts.iter().enumerate() {
         if let Some(e) = &attempt.error {
             eprintln!("attempt {} (seed {}): {e}", i + 1, attempt.seed);
@@ -242,7 +293,12 @@ fn cmd_search(args: &Args) -> Result<(), CliError> {
 fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     let p = parse_problem(args)?;
     let a = parse_arch(args)?;
-    let model = make_model(&p, &a, parse_density(args)?);
+    let density = parse_density(args)?;
+    let model = make_model(&p, &a, density);
+    let model: Box<dyn CostModel> = match parse_guard(args)? {
+        Some(gp) => Box::new(GuardedModel::new(model, guard_config(gp, density))),
+        None => model,
+    };
     let spec = args.get("mapping").ok_or_else(|| input("--mapping is required"))?;
     let spec = match spec.strip_prefix('@') {
         Some(path) => std::fs::read_to_string(path).map_err(input)?,
@@ -303,8 +359,13 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
     }
     let checkpoint = resume.or_else(|| args.get("checkpoint"));
     let arch_for_model = a.clone();
+    let guard = parse_guard(args)?;
     let make_model = move |p: &Problem| -> Box<dyn CostModel> {
-        Box::new(DenseModel::new(p.clone(), arch_for_model.clone()))
+        let model = DenseModel::new(p.clone(), arch_for_model.clone());
+        match guard {
+            Some(gp) => Box::new(GuardedModel::new(model, GuardConfig::new(gp))),
+            None => Box::new(model),
+        }
     };
     let make_mapper = || -> Box<dyn Mapper> { Box::new(Gamma::new()) };
     let out = match checkpoint {
@@ -353,6 +414,57 @@ fn cmd_size(args: &Args) -> Result<(), CliError> {
     let a = parse_arch(args)?;
     let s = mapping::MapSpace::new(p.clone(), a.clone());
     println!("{p} on {}: log10(|map space|) = {:.1}", a.name(), s.size_log10());
+    Ok(())
+}
+
+/// `mapex validate <file>...`: strict spec ingestion. Each file is parsed
+/// with the spec-error taxonomy (unknown fields, zero capacities, fanout
+/// mismatches, bad dimension sets all fail fast with line numbers), and if
+/// both an arch and a problem are given, every pair is cross-checked for
+/// mappability so an impossible pairing is caught before a long search.
+fn cmd_validate(args: &Args) -> Result<(), CliError> {
+    if args.positionals.is_empty() {
+        return Err(input("validate: pass at least one <arch.toml|problem.toml> path"));
+    }
+    let mut archs = Vec::new();
+    let mut problems = Vec::new();
+    for path in &args.positionals {
+        let text = std::fs::read_to_string(path).map_err(|e| input(format!("{path}: {e}")))?;
+        match spec::parse_any(&text).map_err(|e| input(format!("{path}: {e}")))? {
+            spec::Spec::Arch(a) => {
+                println!(
+                    "{path}: ok — arch `{}` ({} levels, {} lanes)",
+                    a.name(),
+                    a.num_levels(),
+                    a.total_spatial_lanes()
+                );
+                archs.push(a);
+            }
+            spec::Spec::Problem(p) => {
+                println!("{path}: ok — problem `{}` ({} MACs)", p.name(), p.total_macs());
+                problems.push(p);
+            }
+        }
+    }
+    for a in &archs {
+        for p in &problems {
+            let space = mapping::MapSpace::new(p.clone(), a.clone());
+            if !space.is_mappable() {
+                return Err(input(format!(
+                    "problem `{}` cannot be mapped onto `{}`: even the smallest legal tiling \
+                     overflows a buffer",
+                    p.name(),
+                    a.name()
+                )));
+            }
+            println!(
+                "cross-check: `{}` is mappable on `{}` (log10 |map space| = {:.1})",
+                p.name(),
+                a.name(),
+                space.size_log10()
+            );
+        }
+    }
     Ok(())
 }
 

@@ -29,7 +29,7 @@ use crate::driver::Mse;
 use crate::fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};
 use crate::warmstart::{run_network_from, InitStrategy, LayerOutcome, ReplayBuffer};
 use arch::Arch;
-use costmodel::{Cost, CostModel};
+use costmodel::{Cost, CostModel, GuardAudit};
 use mappers::{
     score_cmp, AttemptRecord, Budget, ConvergencePoint, EdpEvaluator, Evaluator, Mapper,
     RunError, RunOutcome, RunStatus, SearchResult,
@@ -106,6 +106,39 @@ impl Mse<'_> {
         seed: u64,
         policy: RunPolicy,
     ) -> RunOutcome {
+        self.run_resilient(mapper, evaluator, budget, seed, policy, None)
+    }
+
+    /// [`Mse::run_guarded_with_evaluator`] with an invariant-guard audit:
+    /// `audit` is the [`GuardAudit`] side of the `GuardedModel` the
+    /// evaluator scores against. Each attempt's quarantined-evaluation
+    /// count lands in its [`AttemptRecord`], and an attempt whose every
+    /// scored mapping was quarantined reports
+    /// [`RunError::InvariantViolation`] (with the first violation's
+    /// invariant/level/observed/bound) instead of a bare
+    /// [`RunError::NoLegalMapping`] — distinguishing "the model is lying"
+    /// from "the space has no legal point".
+    pub fn run_guarded_audited(
+        &self,
+        mapper: &dyn Mapper,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        seed: u64,
+        policy: RunPolicy,
+        audit: &dyn GuardAudit,
+    ) -> RunOutcome {
+        self.run_resilient(mapper, evaluator, budget, seed, policy, Some(audit))
+    }
+
+    fn run_resilient(
+        &self,
+        mapper: &dyn Mapper,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        seed: u64,
+        policy: RunPolicy,
+        audit: Option<&dyn GuardAudit>,
+    ) -> RunOutcome {
         quiet_sentinel_panics();
         let space = self.space();
         let mut attempts: Vec<AttemptRecord> = Vec::new();
@@ -114,16 +147,33 @@ impl Mse<'_> {
         let mut salvaged: Option<SearchResult> = None;
         for attempt in 0..=policy.retries {
             let attempt_seed = reseed(seed, attempt as u64);
+            let rejections_before = audit.map_or(0, |a| a.report().rejections);
             let watchdog = WatchdogEvaluator::new(evaluator, budget, policy.grace_evals);
             let started = Instant::now();
             let run = catch_unwind(AssertUnwindSafe(|| {
                 let mut rng = SmallRng::seed_from_u64(attempt_seed);
                 mapper.search(&space, &watchdog, budget, &mut rng)
             }));
+            // Per-attempt guard activity: quarantine count from the
+            // counters, violation details from the drained log.
+            let quarantined = audit
+                .map_or(0, |a| (a.report().rejections - rejections_before) as usize);
+            let violations = audit.map_or_else(Vec::new, |a| a.take_violations());
             match run {
                 Ok(result) => {
                     let error = if result.best.is_none() {
-                        Some(RunError::NoLegalMapping)
+                        match violations.first() {
+                            // Nothing scored *and* the guard was busy: the
+                            // model, not the space, is the problem.
+                            Some(v) if quarantined > 0 => Some(RunError::InvariantViolation {
+                                invariant: v.invariant.name().to_string(),
+                                level: v.level,
+                                observed: v.observed,
+                                bound: v.bound,
+                                quarantined,
+                            }),
+                            _ => Some(RunError::NoLegalMapping),
+                        }
                     } else if !result.best_score.is_finite() {
                         Some(RunError::NonFiniteScore { score: result.best_score })
                     } else {
@@ -136,6 +186,7 @@ impl Mse<'_> {
                         evaluated: result.evaluated,
                         elapsed: result.elapsed,
                         best_score: result.best_score,
+                        quarantined,
                     });
                     if accepted {
                         let status = if attempt == 0 {
@@ -161,6 +212,7 @@ impl Mse<'_> {
                             evaluated,
                             elapsed: started.elapsed(),
                             best_score,
+                            quarantined,
                         });
                         // No retry: a mapper that ignores its budget once
                         // will ignore it again. Hand back whatever the
@@ -180,6 +232,7 @@ impl Mse<'_> {
                         evaluated,
                         elapsed: started.elapsed(),
                         best_score,
+                        quarantined,
                     });
                     if let Some(s) = watchdog.salvage() {
                         let better = salvaged

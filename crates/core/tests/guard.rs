@@ -1,0 +1,140 @@
+//! Integration tests for guarded evaluation inside the resilient runtime:
+//! a corrupted cost model is caught by `GuardedModel`, the offending
+//! mappings are quarantined (never the incumbent), and the attempt log
+//! names the violated invariant.
+
+use arch::Arch;
+use costmodel::{
+    CostModel, DenseModel, FaultConfig, FaultyModel, GuardAudit, GuardConfig, GuardPolicy,
+    GuardedModel,
+};
+use mappers::{Budget, EdpEvaluator, RandomPruned, RunError, RunStatus};
+use mse::{Mse, RunPolicy};
+use problem::Problem;
+
+fn dense() -> DenseModel {
+    DenseModel::new(Problem::conv2d("t", 2, 16, 16, 14, 14, 3, 3), Arch::accel_b())
+}
+
+/// The ISSUE acceptance scenario: a deliberately corrupted model (NaN
+/// faults on every evaluation) is caught by `GuardedModel` with a named
+/// `InvariantViolation` instead of propagating a bad score into a
+/// `RunOutcome` incumbent.
+#[test]
+fn fully_corrupted_model_yields_named_invariant_violation() {
+    let faulty = FaultyModel::new(dense(), FaultConfig::nans(1.0, 21));
+    let guarded = GuardedModel::dense(faulty, GuardPolicy::Reject);
+    let mse = Mse::new(&guarded);
+    let evaluator = EdpEvaluator::new(&guarded);
+
+    let outcome = mse.run_guarded_audited(
+        &RandomPruned::new(),
+        &evaluator,
+        Budget::samples(50),
+        3,
+        RunPolicy::with_retries(1),
+        &guarded,
+    );
+
+    assert_eq!(outcome.status, RunStatus::Failed);
+    assert!(outcome.result.is_none(), "a poisoned score must never become an incumbent");
+    assert_eq!(outcome.attempts.len(), 2);
+    for a in &outcome.attempts {
+        assert!(a.quarantined > 0, "guard saw no rejections");
+        match &a.error {
+            Some(RunError::InvariantViolation { invariant, quarantined, .. }) => {
+                assert_eq!(invariant, "finite-cost");
+                assert_eq!(*quarantined, a.quarantined);
+            }
+            other => panic!("expected InvariantViolation, got {other:?}"),
+        }
+    }
+}
+
+/// Partial corruption: the guard quarantines the poisoned evaluations but
+/// the run still succeeds, and the incumbent it returns re-verifies
+/// against a clean model — the bad scores never leaked into the result.
+#[test]
+fn partially_corrupted_model_recovers_with_clean_incumbent() {
+    let faulty = FaultyModel::new(dense(), FaultConfig::nans(0.3, 8));
+    let guarded = GuardedModel::dense(faulty, GuardPolicy::Reject);
+    let mse = Mse::new(&guarded);
+    let evaluator = EdpEvaluator::new(&guarded);
+
+    let outcome = mse.run_guarded_audited(
+        &RandomPruned::new(),
+        &evaluator,
+        Budget::samples(200),
+        5,
+        RunPolicy::default(),
+        &guarded,
+    );
+
+    assert_eq!(outcome.status, RunStatus::Succeeded);
+    assert!(outcome.attempts[0].quarantined > 0, "fault injector never fired");
+    let result = outcome.result.expect("usable result");
+    let (best, cost) = result.best.expect("incumbent mapping");
+    let clean = dense();
+    let truth = clean.evaluate(&best).expect("incumbent is legal");
+    assert_eq!(truth, cost, "incumbent cost must match a clean evaluation");
+    assert!(result.best_score.is_finite());
+}
+
+/// A healthy model under Reject guarding produces the same search result
+/// as the same model unguarded: guards never reject a legal,
+/// correctly-costed mapping, so they are invisible on the happy path.
+#[test]
+fn guard_is_transparent_for_healthy_model() {
+    let clean = dense();
+    let guarded = GuardedModel::dense(dense(), GuardPolicy::Reject);
+
+    let plain = Mse::new(&clean).run_guarded(
+        &RandomPruned::new(),
+        Budget::samples(150),
+        11,
+        RunPolicy::default(),
+    );
+    let mse = Mse::new(&guarded);
+    let evaluator = EdpEvaluator::new(&guarded);
+    let audited = mse.run_guarded_audited(
+        &RandomPruned::new(),
+        &evaluator,
+        Budget::samples(150),
+        11,
+        RunPolicy::default(),
+        &guarded,
+    );
+
+    assert_eq!(audited.status, RunStatus::Succeeded);
+    assert_eq!(audited.best_score(), plain.best_score());
+    assert_eq!(audited.attempts[0].quarantined, 0);
+    assert_eq!(guarded.report().violations, 0);
+}
+
+/// Warn policy: violations are logged for the audit trail but results pass
+/// through — the run keeps the model's (poisoned) numbers, which the
+/// recorder's own NaN quarantine then handles.
+#[test]
+fn warn_policy_logs_without_rejecting() {
+    let faulty = FaultyModel::new(dense(), FaultConfig::nans(1.0, 2));
+    let guarded = GuardedModel::new(faulty, GuardConfig::new(GuardPolicy::Warn));
+    let mse = Mse::new(&guarded);
+    let evaluator = EdpEvaluator::new(&guarded);
+
+    let outcome = mse.run_guarded_audited(
+        &RandomPruned::new(),
+        &evaluator,
+        Budget::samples(30),
+        9,
+        RunPolicy::with_retries(0),
+        &guarded,
+    );
+
+    // Warn never converts evaluations into errors, so the guard records
+    // violations but quarantines nothing; the NaN scores are instead
+    // dropped by the recorder and the attempt ends with NoLegalMapping.
+    assert_eq!(outcome.status, RunStatus::Failed);
+    assert_eq!(outcome.attempts[0].quarantined, 0);
+    assert!(matches!(outcome.attempts[0].error, Some(RunError::NoLegalMapping)));
+    assert!(guarded.report().violations > 0, "warn policy must still log violations");
+}

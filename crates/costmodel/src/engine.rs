@@ -36,6 +36,27 @@ pub trait CostModel: Sync {
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError>;
 }
 
+/// Boxed models evaluate by delegation, so decorator stacks (guards, fault
+/// injectors, watchdogs) compose over `Box<dyn CostModel>` as returned by
+/// spec-driven construction paths like the CLI's model factory.
+impl<M: CostModel + ?Sized> CostModel for Box<M> {
+    fn problem(&self) -> &Problem {
+        (**self).problem()
+    }
+
+    fn arch(&self) -> &Arch {
+        (**self).arch()
+    }
+
+    fn evaluate(&self, m: &Mapping) -> Result<Cost, MappingError> {
+        (**self).evaluate(m)
+    }
+
+    fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
+        (**self).evaluate_detailed(m)
+    }
+}
+
 /// Timeloop-like dense analytical model: strict capacity legality, no
 /// sparsity effects.
 #[derive(Debug, Clone)]

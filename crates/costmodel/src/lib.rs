@@ -28,9 +28,14 @@ mod analysis;
 mod cost;
 mod engine;
 pub mod fault;
+pub mod guard;
 pub mod style;
 
 pub use analysis::{analyze, Breakdown, CapacityMode, LevelTraffic};
 pub use cost::Cost;
 pub use engine::{CostModel, DenseModel, SparseModel};
 pub use fault::{FaultConfig, FaultyModel, InjectedFault};
+pub use guard::{
+    GuardAudit, GuardConfig, GuardPolicy, GuardReport, GuardedModel, Invariant,
+    InvariantViolation,
+};

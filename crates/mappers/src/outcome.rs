@@ -33,6 +33,22 @@ pub enum RunError {
         /// Evaluations performed when the watchdog fired.
         evaluated: usize,
     },
+    /// The evaluation guard (`costmodel::guard`) quarantined every scored
+    /// mapping: the cost model produced physically impossible results, so
+    /// the attempt has no trustworthy incumbent. Carries the first
+    /// violation's report.
+    InvariantViolation {
+        /// Kebab-case invariant name (e.g. `compulsory-traffic`).
+        invariant: String,
+        /// Storage level for per-level invariants.
+        level: Option<usize>,
+        /// The value the model reported.
+        observed: f64,
+        /// The bound it had to satisfy.
+        bound: f64,
+        /// How many evaluations the guard quarantined in this attempt.
+        quarantined: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -45,6 +61,16 @@ impl fmt::Display for RunError {
             RunError::NoLegalMapping => write!(f, "run evaluated no legal mapping"),
             RunError::BudgetOverrun { evaluated } => {
                 write!(f, "watchdog stopped the mapper after {evaluated} evaluations")
+            }
+            RunError::InvariantViolation { invariant, level, observed, bound, quarantined } => {
+                write!(f, "cost-model invariant `{invariant}` violated")?;
+                if let Some(l) = level {
+                    write!(f, " at level {l}")?;
+                }
+                write!(
+                    f,
+                    ": observed {observed:.6e}, bound {bound:.6e} ({quarantined} evaluation(s) quarantined)"
+                )
             }
         }
     }
@@ -65,6 +91,9 @@ pub struct AttemptRecord {
     pub elapsed: Duration,
     /// Best (lowest) score the attempt saw, `INFINITY` if none.
     pub best_score: f64,
+    /// Evaluations the guard quarantined for invariant violations (0 when
+    /// running unguarded).
+    pub quarantined: usize,
 }
 
 /// Terminal status of a guarded run.
@@ -180,6 +209,16 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         assert!(RunError::NonFiniteScore { score: f64::NAN }.to_string().contains("NaN"));
         assert!(RunError::NoLegalMapping.to_string().contains("no legal"));
+        let v = RunError::InvariantViolation {
+            invariant: "compulsory-traffic".into(),
+            level: Some(0),
+            observed: 1.0,
+            bound: 2.0,
+            quarantined: 7,
+        };
+        let s = v.to_string();
+        assert!(s.contains("compulsory-traffic") && s.contains("level 0"));
+        assert!(s.contains("7 evaluation(s) quarantined"));
     }
 
     #[test]
@@ -192,6 +231,7 @@ mod tests {
                 evaluated: n,
                 elapsed: Duration::ZERO,
                 best_score: 1.0,
+                quarantined: 0,
             });
         }
         assert_eq!(o.total_evaluated(), 100);

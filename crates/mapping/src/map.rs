@@ -75,6 +75,20 @@ pub enum MappingError {
     FanoutExceeded { level: usize, used: u64, fanout: u64 },
     /// A buffer level cannot hold its tiles.
     CapacityExceeded { level: usize, needed_words: f64, capacity_words: u64 },
+    /// The cost model produced a physically impossible result for this
+    /// mapping and the evaluation guard rejected it (`costmodel::guard`).
+    /// The mapping itself may be structurally legal; it is quarantined so
+    /// a corrupted score cannot become a search incumbent.
+    GuardRejected {
+        /// Name of the violated invariant (e.g. `finite-cost`).
+        invariant: String,
+        /// Storage level the violation was observed at, if level-specific.
+        level: Option<usize>,
+        /// The physically impossible value the model reported.
+        observed: f64,
+        /// The bound the invariant required.
+        bound: f64,
+    },
 }
 
 impl fmt::Display for MappingError {
@@ -100,6 +114,13 @@ impl fmt::Display for MappingError {
                     f,
                     "level {level} needs {needed_words:.0} words, capacity is {capacity_words}"
                 )
+            }
+            MappingError::GuardRejected { invariant, level, observed, bound } => {
+                write!(f, "cost-model invariant `{invariant}` violated")?;
+                if let Some(l) = level {
+                    write!(f, " at level {l}")?;
+                }
+                write!(f, ": observed {observed:.6e}, bound {bound:.6e} (mapping quarantined)")
             }
         }
     }
@@ -316,7 +337,7 @@ impl Mapping {
                     }
                 }
                 let Some((lj, is_spatial, dim, f)) = best else { return false };
-                let p = *prime_factors(f).first().expect("factor > 1");
+                let Some(&p) = prime_factors(f).first() else { return false };
                 if is_spatial {
                     self.levels[lj].spatial[dim] /= p;
                 } else {
@@ -394,15 +415,16 @@ impl Mapping {
         for li in 0..nl {
             let fanout = arch.fanout_below(li);
             while m.levels[li].spatial_product() > fanout {
+                // `product > fanout >= 1` implies some factor > 1, but a
+                // malformed input must degrade to `None`, not a panic.
                 let (dim, f) = m.levels[li]
                     .spatial
                     .iter()
                     .copied()
                     .enumerate()
                     .filter(|&(_, s)| s > 1)
-                    .max_by_key(|&(_, s)| s)
-                    .expect("product > fanout >= 1 implies some factor > 1");
-                let p = *prime_factors(f).first().expect("factor > 1");
+                    .max_by_key(|&(_, s)| s)?;
+                let &p = prime_factors(f).first()?;
                 m.levels[li].spatial[dim] /= p;
                 m.levels[li].temporal[dim] *= p;
             }
@@ -567,5 +589,13 @@ mod tests {
         assert!(e.to_string().contains("fanout"));
         let e = MappingError::CapacityExceeded { level: 2, needed_words: 1e4, capacity_words: 128 };
         assert!(e.to_string().contains("capacity"));
+        let e = MappingError::GuardRejected {
+            invariant: "finite-cost".into(),
+            level: Some(1),
+            observed: f64::NAN,
+            bound: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("finite-cost") && s.contains("level 1") && s.contains("quarantined"));
     }
 }

@@ -40,7 +40,27 @@ impl MapSpace {
     ///
     /// Panics if the problem is fundamentally unmappable (a buffer cannot
     /// hold even unit tiles), which cannot happen for the paper's presets.
+    /// User-supplied architectures should be screened with
+    /// [`MapSpace::is_mappable`] (or sampled with [`MapSpace::try_random`])
+    /// first.
     pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Mapping {
+        self.try_random(rng).unwrap_or_else(|| {
+            panic!("problem {} unmappable on {}", self.problem.name(), self.arch.name())
+        })
+    }
+
+    /// Whether the pair admits *any* legal mapping: the trivial mapping's
+    /// unit inner tiles are the smallest possible footprint, so if they do
+    /// not fit, nothing does. Spec-loaded (user-supplied) architectures go
+    /// through this check before any sampling path that would panic.
+    pub fn is_mappable(&self) -> bool {
+        Mapping::trivial(&self.problem, &self.arch).is_legal(&self.problem, &self.arch)
+    }
+
+    /// Fallible [`MapSpace::random`]: returns `None` instead of panicking
+    /// when even unit tiles overflow some buffer (possible only with
+    /// user-supplied architectures; see [`MapSpace::is_mappable`]).
+    pub fn try_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Mapping> {
         let d = self.problem.num_dims();
         let nl = self.arch.num_levels();
         let mut levels: Vec<LevelMapping> = (0..nl).map(|_| LevelMapping::unit(d)).collect();
@@ -76,14 +96,11 @@ impl MapSpace {
         }
 
         let mut m = Mapping::new(levels);
-        assert!(
-            m.repair_capacity(&self.problem, &self.arch),
-            "problem {} unmappable on {}",
-            self.problem.name(),
-            self.arch.name()
-        );
+        if !m.repair_capacity(&self.problem, &self.arch) {
+            return None;
+        }
         debug_assert!(m.is_legal(&self.problem, &self.arch), "{:?}", m.validate(&self.problem, &self.arch));
-        m
+        Some(m)
     }
 
     /// Samples a random legal mapping already projected onto a constraint
@@ -204,6 +221,30 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let any_parallel = (0..50).any(|_| s.random(&mut rng).used_lanes() > 1);
         assert!(any_parallel);
+    }
+
+    #[test]
+    fn try_random_returns_none_when_unmappable() {
+        // 1-word inner buffer cannot hold even one word per tensor.
+        let arch = Arch::new(
+            "tiny",
+            vec![
+                arch::MemLevel::new("DRAM", None, 1, 200.0, 16.0),
+                arch::MemLevel::new("Buf", Some(1), 1, 1.0, 1.0),
+            ],
+            1.0,
+            2,
+        )
+        .unwrap();
+        let s = MapSpace::new(Problem::gemm("g", 1, 8, 8, 8), arch);
+        assert!(!s.is_mappable());
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(s.try_random(&mut rng).is_none());
+    }
+
+    #[test]
+    fn is_mappable_on_presets() {
+        assert!(space().is_mappable());
     }
 
     #[test]

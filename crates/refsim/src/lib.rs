@@ -8,10 +8,18 @@
 //! refetch the analytical multiplicity machinery predicts must actually
 //! happen in the executed nest, and none besides.
 //!
-//! Scope: temporal mappings (spatial factors of 1). Spatial loops add
+//! # Scope: temporal mappings only
+//!
+//! The simulator enumerates a *sequential* loop nest. Spatial loops add
 //! per-instance buffers and multicast accounting that the analytical model
-//! covers with closed forms; strip spatial factors (demote them to
-//! temporal) before comparing — the temporal machinery is the part with
+//! covers with closed forms; simulating them would require one resident
+//! tile per instance, which this brute-force oracle deliberately does not
+//! model. [`simulate`] therefore **rejects any mapping with a spatial
+//! factor above 1** with [`SimError::SpatialUnsupported`] — it never
+//! silently returns wrong counts. Use [`demote_spatial`] to fold spatial
+//! factors into temporal ones first: demotion keeps every level's tile
+//! extents (and therefore footprints and legality) unchanged, it only
+//! serializes the parallelism — the temporal machinery is the part with
 //! order-dependent reuse subtleties worth brute-force checking.
 //!
 //! # Example
@@ -55,8 +63,10 @@ pub struct SimCounts {
 pub enum SimError {
     /// The mapping is illegal for the problem/architecture.
     Illegal(MappingError),
-    /// The mapping uses spatial loops (unsupported; demote them first).
-    HasSpatialLoops,
+    /// The mapping uses spatial loops, which the sequential simulator does
+    /// not model (see the [module docs](self)); run [`demote_spatial`]
+    /// first.
+    SpatialUnsupported,
     /// The iteration space is too large to enumerate (guard rail).
     TooLarge(u128),
 }
@@ -65,10 +75,34 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Illegal(e) => write!(f, "illegal mapping: {e}"),
-            SimError::HasSpatialLoops => write!(f, "mapping has spatial loops"),
+            SimError::SpatialUnsupported => write!(
+                f,
+                "mapping has spatial loops, which the sequential reference \
+                 simulator does not model; demote them to temporal loops \
+                 first (refsim::demote_spatial)"
+            ),
             SimError::TooLarge(n) => write!(f, "iteration space too large: {n}"),
         }
     }
+}
+
+/// Folds every spatial factor into the temporal factor at the same level,
+/// returning a purely temporal mapping [`simulate`] accepts.
+///
+/// Per level, `temporal[d] × spatial[d]` is preserved, so every level's
+/// tile extents — and with them footprints, capacity legality, and the
+/// per-dimension factor products — are unchanged; only the parallelism is
+/// serialized. A legal mapping therefore stays legal (a spatial product of
+/// 1 trivially satisfies any fanout) and needs no capacity repair.
+pub fn demote_spatial(m: &Mapping) -> Mapping {
+    let mut out = m.clone();
+    for level in out.levels_mut() {
+        for dim in 0..level.spatial.len() {
+            level.temporal[dim] *= level.spatial[dim];
+            level.spatial[dim] = 1;
+        }
+    }
+    out
 }
 
 impl std::error::Error for SimError {}
@@ -80,12 +114,14 @@ pub const MAX_ITERATIONS: u128 = 50_000_000;
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] for illegal mappings, mappings with spatial loops,
-/// or iteration spaces beyond [`MAX_ITERATIONS`].
+/// Returns [`SimError::Illegal`] for illegal mappings,
+/// [`SimError::SpatialUnsupported`] for mappings with spatial loops (fold
+/// them away with [`demote_spatial`] first), or [`SimError::TooLarge`] for
+/// iteration spaces beyond [`MAX_ITERATIONS`].
 pub fn simulate(problem: &Problem, arch: &Arch, m: &Mapping) -> Result<SimCounts, SimError> {
     m.validate(problem, arch).map_err(SimError::Illegal)?;
     if m.levels().iter().any(|l| l.spatial_product() > 1) {
-        return Err(SimError::HasSpatialLoops);
+        return Err(SimError::SpatialUnsupported);
     }
     let total = problem.total_macs();
     if total > MAX_ITERATIONS {
@@ -228,7 +264,29 @@ mod tests {
         let mut m = Mapping::trivial(&p, &a);
         m.levels_mut()[0].temporal[1] = 2;
         m.levels_mut()[1].spatial[1] = 2;
-        assert_eq!(simulate(&p, &a, &m), Err(SimError::HasSpatialLoops));
+        assert_eq!(simulate(&p, &a, &m), Err(SimError::SpatialUnsupported));
+        assert!(simulate(&p, &a, &m).unwrap_err().to_string().contains("demote"));
+        // Demotion makes the same mapping simulable without repair.
+        let t = demote_spatial(&m);
+        assert!(t.is_legal(&p, &a));
+        assert!(simulate(&p, &a, &t).is_ok());
+    }
+
+    #[test]
+    fn demote_spatial_preserves_extents_and_legality() {
+        let p = Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3);
+        let a = Arch::accel_b();
+        let s = mapping::MapSpace::new(p.clone(), a.clone());
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(4);
+        for _ in 0..50 {
+            let m = s.random(&mut rng);
+            let t = demote_spatial(&m);
+            assert!(t.is_legal(&p, &a), "demotion broke legality");
+            assert_eq!(t.used_lanes(), 1);
+            for li in 0..a.num_levels() {
+                assert_eq!(m.tile_extents(li), t.tile_extents(li), "extents changed at {li}");
+            }
+        }
     }
 
     #[test]

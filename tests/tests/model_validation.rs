@@ -10,19 +10,14 @@ use problem::Problem;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use refsim::simulate;
+use refsim::{demote_spatial, simulate};
 
 /// Demotes every spatial factor to temporal (the simulator's scope).
+/// Demotion preserves per-level tile extents, so no capacity repair is
+/// needed — the mapping stays legal as-is.
 fn strip_spatial(m: &Mapping, p: &Problem, a: &Arch) -> Mapping {
-    let mut out = m.clone();
-    for l in out.levels_mut() {
-        for dim in 0..l.spatial.len() {
-            let s = l.spatial[dim];
-            l.spatial[dim] = 1;
-            l.temporal[dim] *= s;
-        }
-    }
-    assert!(out.repair_capacity(p, a), "strip+repair failed");
+    let out = demote_spatial(m);
+    assert!(out.is_legal(p, a), "demotion broke legality");
     out
 }
 
