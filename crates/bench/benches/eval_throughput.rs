@@ -1,0 +1,52 @@
+//! Criterion microbench: batch-evaluation throughput through the parallel
+//! evaluation stack (DESIGN.md §9). Compares the serial baseline against
+//! the worker pool and the evaluation cache on the same mapping batch, so
+//! regressions in pool dispatch overhead or cache-key canonicalization
+//! show up as a ratio change rather than an absolute-time guess.
+
+use costmodel::DenseModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mappers::{EdpEvaluator, Evaluator};
+use mapping::MapSpace;
+use mse::{CachedEvaluator, EvalCache, EvalConfig, EvalPool, PoolEvaluator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 256;
+
+fn bench_throughput(c: &mut Criterion) {
+    let w = problem::zoo::resnet_conv4();
+    let a = arch::Arch::accel_b();
+    let model = DenseModel::new(w.clone(), a.clone());
+    let eval = EdpEvaluator::new(&model);
+    let space = MapSpace::new(w, a);
+    let mut rng = SmallRng::seed_from_u64(0);
+    let batch: Vec<_> = (0..BATCH).map(|_| space.random(&mut rng)).collect();
+
+    c.bench_function("serial_batch_256", |b| {
+        b.iter(|| std::hint::black_box(eval.evaluate_batch(&batch)))
+    });
+
+    let pool = EvalPool::new(EvalConfig { threads: 0, cache_capacity: 0 });
+    let pooled = PoolEvaluator::new(&pool, &eval);
+    c.bench_function(&format!("pooled_batch_256_{}lanes", pool.lanes()), |b| {
+        b.iter(|| std::hint::black_box(pooled.evaluate_batch(&batch)))
+    });
+
+    // Warm cache: after the first iteration every lookup hits, so this
+    // measures canonicalize + shard lookup — the cache's steady state on
+    // a converged GA population.
+    let cache = EvalCache::new(1 << 16);
+    let cached = CachedEvaluator::new(&cache, &eval);
+    let _ = cached.evaluate_batch(&batch);
+    c.bench_function("cached_batch_256_warm", |b| {
+        b.iter(|| std::hint::black_box(cached.evaluate_batch(&batch)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_throughput
+}
+criterion_main!(benches);

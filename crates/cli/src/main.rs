@@ -21,8 +21,8 @@ use mappers::{
     RandomPruned, Reinforce, RunStatus, SimulatedAnnealing, StandardGa,
 };
 use mse::{
-    run_network, run_network_checkpointed, CheckpointError, InitStrategy, Mse, ReplayBuffer,
-    RunPolicy,
+    run_network_checkpointed_parallel, run_network_parallel, CheckpointError, EvalConfig,
+    InitStrategy, Mse, ReplayBuffer, RunPolicy,
 };
 use problem::{Density, Problem};
 use std::process::ExitCode;
@@ -37,6 +37,9 @@ commands:
   size      report the map-space size
   validate  strictly check arch/problem spec files (.toml) without running
   zoo       list built-in models and workloads
+  bench-throughput
+            measure evaluation throughput (serial vs parallel vs cached)
+            and write BENCH_throughput.json
 
 common options:
   --problem SPEC         workload spec, e.g. \"CONV2D;c3;B=16,K=128,C=128,Y=28,X=28,R=3,S=3\"
@@ -53,6 +56,10 @@ common options:
                          every cost-model evaluation and quarantine
                          violations                  (default reject)
   --seed N               RNG seed                    (default 0)
+  --threads N            evaluation worker threads; 0 = one per core
+                         (default 0; results are bit-identical at any count)
+  --cache N              evaluation-cache capacity in entries; 0 disables
+                         (default 65536)
   --weight-density D     sparse weights (enables the sparse model)
   --input-density D      sparse activations (enables the sparse model)
   --mapping SPEC|@file   mapping spec (evaluate)
@@ -63,6 +70,9 @@ common options:
   --checkpoint FILE      write a JSON checkpoint after every layer (sweep)
   --resume FILE          resume an interrupted sweep from FILE, skipping
                          completed layers (implies --checkpoint FILE)
+  --quick                bench-throughput: smaller budget and case matrix
+  --min-ratio R          bench-throughput: exit nonzero if parallel/serial
+                         throughput falls below R on any case (CI smoke)
 
 exit codes:
   0  success
@@ -112,6 +122,7 @@ fn main() -> ExitCode {
         Some("size") => cmd_size(&args),
         Some("validate") => cmd_validate(&args),
         Some("zoo") => cmd_zoo(),
+        Some("bench-throughput") => cmd_bench_throughput(&args),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);
@@ -222,8 +233,19 @@ fn parse_budget(args: &Args) -> Result<Budget, CliError> {
     Ok(budget)
 }
 
+/// `--threads` / `--cache` → the evaluation-engine configuration. The CLI
+/// defaults to the full engine (one worker per core, 64k-entry cache);
+/// library callers default to serial/uncached (`EvalConfig::default`).
+fn parse_eval(args: &Args) -> Result<EvalConfig, CliError> {
+    let mut eval = EvalConfig::full();
+    eval.threads = args.get_num("threads", eval.threads).map_err(input)?;
+    eval.cache_capacity = args.get_num("cache", eval.cache_capacity).map_err(input)?;
+    Ok(eval)
+}
+
 fn parse_policy(args: &Args) -> Result<RunPolicy, CliError> {
-    Ok(RunPolicy::with_retries(args.get_num("retries", 2).map_err(input)?))
+    Ok(RunPolicy::with_retries(args.get_num("retries", 2).map_err(input)?)
+        .with_eval(parse_eval(args)?))
 }
 
 fn cmd_search(args: &Args) -> Result<(), CliError> {
@@ -280,6 +302,16 @@ fn cmd_search(args: &Args) -> Result<(), CliError> {
     println!("workload : {p}");
     println!("arch     : {}", a.name());
     println!("mapper   : {} ({} samples, {:.3}s)", mapper.name(), r.evaluated, r.elapsed.as_secs_f64());
+    let lookups = r.cache.hits + r.cache.misses;
+    if lookups > 0 {
+        println!(
+            "cache    : {} hit(s) / {} lookup(s) ({:.1}% hit rate), {} eviction(s)",
+            r.cache.hits,
+            lookups,
+            100.0 * r.cache.hit_rate(),
+            r.cache.evictions
+        );
+    }
     println!("cost     : {cost}");
     println!("mapping  : {}", mapping::codec::to_spec(&best));
     print!("{best}");
@@ -368,14 +400,20 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         }
     };
     let make_mapper = || -> Box<dyn Mapper> { Box::new(Gamma::new()) };
+    // Random-init layers are independent and fan out over `--threads`
+    // workers; warm-started sweeps stay serial (each layer seeds from its
+    // predecessors). Either way checkpoint writes and replay-buffer
+    // inserts happen in layer order, so results match the serial sweep.
+    let threads = parse_eval(args)?.threads;
     let out = match checkpoint {
-        Some(path) => run_network_checkpointed(
+        Some(path) => run_network_checkpointed_parallel(
             &layers,
             &a,
             &buffer,
             strategy,
             budget,
             seed,
+            threads,
             make_model,
             make_mapper,
             std::path::Path::new(path),
@@ -385,7 +423,17 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
             CheckpointError::Io(io) => input(io),
             other => CliError::Checkpoint(other.to_string()),
         })?,
-        None => run_network(&layers, &a, &buffer, strategy, budget, seed, make_model, make_mapper),
+        None => run_network_parallel(
+            &layers,
+            &a,
+            &buffer,
+            strategy,
+            budget,
+            seed,
+            threads,
+            make_model,
+            make_mapper,
+        ),
     };
     println!("{:<24} {:>12} {:>12} {:>10}", "layer", "EDP", "latency", "samples");
     for o in &out {
@@ -464,6 +512,91 @@ fn cmd_validate(args: &Args) -> Result<(), CliError> {
                 space.size_log10()
             );
         }
+    }
+    Ok(())
+}
+
+/// `mapex bench-throughput`: measures single-run search throughput
+/// (evaluations per second) for the serial path, the parallel pool, and
+/// the pool + evaluation cache, per preset × operator × mapper, and
+/// writes the results to `BENCH_throughput.json`. `--quick` shrinks the
+/// budget and case matrix for CI smoke use; `--min-ratio R` turns the run
+/// into an assertion that the parallel path never falls below `R`× serial
+/// on any case.
+fn cmd_bench_throughput(args: &Args) -> Result<(), CliError> {
+    let quick = args.flag("quick");
+    let samples: usize = args.get_num("samples", if quick { 600 } else { 6_000 }).map_err(input)?;
+    let threads: usize = args.get_num("threads", 0).map_err(input)?;
+    let min_ratio: f64 = args.get_num("min-ratio", 0.0).map_err(input)?;
+    let seed: u64 = args.get_num("seed", 0).map_err(input)?;
+    let out_path = args.get_or("out", "BENCH_throughput.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let resolved_threads = if threads == 0 { cores } else { threads };
+    let budget = Budget::samples(samples);
+
+    let presets: Vec<(&str, arch::Arch)> = if quick {
+        vec![("accel-b", arch::Arch::accel_b())]
+    } else {
+        vec![("accel-a", arch::Arch::accel_a()), ("accel-b", arch::Arch::accel_b())]
+    };
+    let operators = [problem::zoo::resnet_conv4(), problem::zoo::bert_kqv()];
+    let mapper_names: &[&str] =
+        if quick { &["gamma", "random"] } else { &["gamma", "standard-ga", "random"] };
+
+    let mut rows = Vec::new();
+    let mut worst_ratio = f64::INFINITY;
+    for (aname, a) in &presets {
+        for p in &operators {
+            for &mname in mapper_names {
+                let model = DenseModel::new(p.clone(), a.clone());
+                let mse = Mse::new(&model);
+                let run = |eval: EvalConfig| -> Result<(f64, mappers::CacheStats), CliError> {
+                    let mapper = make_mapper(mname)?;
+                    let policy = RunPolicy::with_retries(0).with_eval(eval);
+                    let outcome = mse.run_guarded(mapper.as_ref(), budget, seed, policy);
+                    let r = outcome.result.ok_or_else(|| {
+                        CliError::NoResult(format!("bench case {aname}/{}/{mname} failed", p.name()))
+                    })?;
+                    let secs = r.elapsed.as_secs_f64().max(1e-9);
+                    Ok((r.evaluated as f64 / secs, r.cache))
+                };
+                let (serial_eps, _) = run(EvalConfig::serial())?;
+                let (parallel_eps, _) =
+                    run(EvalConfig { threads, cache_capacity: 0 })?;
+                let (cached_eps, cache) =
+                    run(EvalConfig { threads, cache_capacity: 1 << 16 })?;
+                let ratio = parallel_eps / serial_eps;
+                worst_ratio = worst_ratio.min(ratio);
+                println!(
+                    "{aname:<8} {:<12} {mname:<12} serial {serial_eps:>9.0} ev/s | \
+                     parallel {parallel_eps:>9.0} ev/s ({ratio:.2}x) | \
+                     cached {cached_eps:>9.0} ev/s ({} hit(s))",
+                    p.name(),
+                    cache.hits
+                );
+                rows.push(format!(
+                    "    {{\"arch\": \"{aname}\", \"problem\": \"{}\", \"mapper\": \"{mname}\", \
+                     \"serial_evals_per_sec\": {serial_eps:.1}, \
+                     \"parallel_evals_per_sec\": {parallel_eps:.1}, \
+                     \"cached_evals_per_sec\": {cached_eps:.1}, \
+                     \"parallel_speedup\": {ratio:.3}, \"cache_hits\": {}}}",
+                    p.name(),
+                    cache.hits
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \"threads\": {resolved_threads},\n  \
+         \"samples_per_run\": {samples},\n  \"quick\": {quick},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(out_path, &json).map_err(input)?;
+    println!("wrote {out_path} ({cores} core(s), {resolved_threads} thread(s))");
+    if min_ratio > 0.0 && worst_ratio < min_ratio {
+        return Err(CliError::NoResult(format!(
+            "throughput smoke failed: worst parallel/serial ratio {worst_ratio:.2} < {min_ratio}"
+        )));
     }
     Ok(())
 }

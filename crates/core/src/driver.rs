@@ -166,6 +166,7 @@ mod tests {
             pareto: vec![],
             evaluated: 200,
             elapsed: std::time::Duration::ZERO,
+            cache: mappers::CacheStats::default(),
         };
         // 99.5% of the 990 improvement → threshold 1000 - 985.05 = 14.95.
         assert_eq!(convergence_sample(&r, 0.995), 50);

@@ -1,0 +1,586 @@
+//! Parallel evaluation engine: a persistent worker pool and a sharded
+//! evaluation cache, both packaged as [`mappers::Evaluator`] decorators.
+//!
+//! Timeloop-style map-space exploration spends >95% of wall-clock inside
+//! `evaluate()` (PAPER.md §IV), so this module is the throughput layer the
+//! rest of the runtime sits on. Three design rules keep it safe to enable
+//! everywhere:
+//!
+//! 1. **Determinism.** Mappers submit work through
+//!    [`Evaluator::evaluate_batch`] and always receive outcomes in
+//!    submission order; the thread count only changes *which worker*
+//!    computes each slot, never the values or their order. Cache lookups
+//!    and inserts happen on the submitting thread, in submission order, so
+//!    the hit/miss sequence is also independent of the thread count.
+//!    Parallel runs are therefore bit-identical to serial runs.
+//! 2. **Panic transparency.** A panic on a worker is caught, carried back,
+//!    and re-raised on the submitting thread *with its original payload*,
+//!    so the resilient runtime's classifier (`mse::runtime`) still
+//!    downcasts sentinels like `InjectedFault` exactly as it does for
+//!    serial evaluation.
+//! 3. **No new dependencies.** The pool is std threads + mutex/condvar;
+//!    work is claimed item-by-item from a shared atomic cursor, so a slow
+//!    mapping (straggler) never idles a whole chunk's worth of threads the
+//!    way static partitioning did.
+
+use costmodel::Cost;
+use mappers::{CacheStats, Evaluator};
+use mapping::Mapping;
+use std::any::Any;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for the evaluation stack built by `mse::runtime`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Worker threads for batch evaluation. `0` means "all cores"
+    /// (`std::thread::available_parallelism`); `1` evaluates inline on the
+    /// submitting thread with no pool at all.
+    pub threads: usize,
+    /// Evaluation-cache capacity in entries; `0` disables the cache.
+    pub cache_capacity: usize,
+}
+
+impl EvalConfig {
+    /// Serial, uncached — the historical behavior, and the default for
+    /// library callers so existing deterministic tests keep their exact
+    /// evaluation counts.
+    pub fn serial() -> Self {
+        EvalConfig { threads: 1, cache_capacity: 0 }
+    }
+
+    /// All cores plus a bounded cache — what the CLI uses by default.
+    pub fn full() -> Self {
+        EvalConfig { threads: 0, cache_capacity: 1 << 16 }
+    }
+
+    /// Resolves `threads == 0` to the machine's core count.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig::serial()
+    }
+}
+
+/// One in-flight batch. The evaluator and mapping slice are smuggled
+/// across threads as raw pointers; they are only dereferenced by workers
+/// holding a claimed index, and the submitting thread blocks until every
+/// index is accounted for, so both outlive every dereference.
+struct Job {
+    eval: *const dyn Evaluator,
+    batch: *const Mapping,
+    len: usize,
+    /// Next unclaimed item — fine-grained dispatch, no static chunks.
+    next: AtomicUsize,
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+struct JobState {
+    results: Vec<Option<Option<(Cost, f64)>>>,
+    done: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+// Safety: the raw pointers are only dereferenced while the submitting
+// thread is parked inside `EvalPool::evaluate_batch`, which keeps the
+// referents alive; `dyn Evaluator` is `Sync` by trait bound and `Mapping`
+// is only read.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and evaluates items until the batch is drained. Runs on
+    /// workers *and* on the submitting thread, so progress never depends
+    /// on pool size.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return;
+            }
+            // Safety: holding an unfinished claim `i < len` means `done <
+            // len`, so the submitting thread is still parked in
+            // `evaluate_batch` and the referents are alive. A worker that
+            // wakes after the batch drained fails the claim above and
+            // never forms these references.
+            let (eval, m) = unsafe { (&*self.eval, &*self.batch.add(i)) };
+            let out = catch_unwind(AssertUnwindSafe(|| eval.evaluate(m)));
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            match out {
+                Ok(v) => st.results[i] = Some(v),
+                // Keep the first payload; the submitter re-raises it.
+                Err(p) => {
+                    if st.panic.is_none() {
+                        st.panic = Some(p);
+                    }
+                    st.results[i] = Some(None);
+                }
+            }
+            st.done += 1;
+            if st.done == self.len {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    wake: Condvar,
+}
+
+struct JobSlot {
+    generation: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// A persistent pool of evaluation workers.
+///
+/// Submitting a batch blocks until every item is evaluated; results come
+/// back indexed by submission order. With fewer than two workers the pool
+/// holds no threads and batches run inline — the degenerate configuration
+/// used to represent "serial" without a second code path.
+pub struct EvalPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EvalPool {
+    /// Spawns a pool sized by `config.threads` (`0` = all cores).
+    pub fn new(config: EvalConfig) -> Self {
+        let threads = config.resolved_threads();
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot { generation: 0, job: None, shutdown: false }),
+            wake: Condvar::new(),
+        });
+        // The submitting thread also works its own batches, so `threads`
+        // total lanes means `threads - 1` parked workers.
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        EvalPool { shared, workers }
+    }
+
+    /// Total evaluation lanes (workers plus the submitting thread).
+    pub fn lanes(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if slot.shutdown {
+                        return;
+                    }
+                    if slot.generation != seen {
+                        seen = slot.generation;
+                        if let Some(job) = slot.job.clone() {
+                            break job;
+                        }
+                    }
+                    slot = shared.wake.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            job.work();
+        }
+    }
+
+    /// Evaluates `batch` against `eval`, returning outcomes in submission
+    /// order. Blocks until the whole batch is done. A worker panic is
+    /// re-raised here with its original payload once the batch has
+    /// drained (remaining items still complete, keeping counters exact).
+    pub fn evaluate_batch(
+        &self,
+        eval: &dyn Evaluator,
+        batch: &[Mapping],
+    ) -> Vec<Option<(Cost, f64)>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        if self.workers.is_empty() || batch.len() == 1 {
+            return batch.iter().map(|m| eval.evaluate(m)).collect();
+        }
+        // Safety: erases the borrow's lifetime so the pointer can live in
+        // the 'static Job; it is only dereferenced under an unfinished
+        // claim, while this call keeps `eval` alive (see `Job::work`).
+        let eval_static: &'static dyn Evaluator =
+            unsafe { std::mem::transmute::<&dyn Evaluator, &'static dyn Evaluator>(eval) };
+        let job = Arc::new(Job {
+            eval: eval_static as *const dyn Evaluator,
+            batch: batch.as_ptr(),
+            len: batch.len(),
+            next: AtomicUsize::new(0),
+            state: Mutex::new(JobState {
+                results: vec![None; batch.len()],
+                done: 0,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.generation += 1;
+            slot.job = Some(Arc::clone(&job));
+        }
+        self.shared.wake.notify_all();
+        // Work the batch from this thread too, then wait out stragglers.
+        job.work();
+        let mut st = job.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.done < job.len {
+            st = job.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        {
+            // Drop our handle from the slot so the batch's borrows end
+            // with this call (workers may still hold the Arc briefly, but
+            // only touch it to fail a claim).
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.job = None;
+        }
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            std::panic::resume_unwind(p);
+        }
+        st.results.drain(..).map(|r| r.expect("all slots filled")).collect()
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// [`Evaluator`] decorator that routes batches through an [`EvalPool`].
+/// Single evaluations stay inline — there is nothing to overlap.
+pub struct PoolEvaluator<'a> {
+    pool: &'a EvalPool,
+    inner: &'a dyn Evaluator,
+}
+
+impl<'a> PoolEvaluator<'a> {
+    /// Wraps `inner` with pool-backed batch evaluation.
+    pub fn new(pool: &'a EvalPool, inner: &'a dyn Evaluator) -> Self {
+        PoolEvaluator { pool, inner }
+    }
+}
+
+impl Evaluator for PoolEvaluator<'_> {
+    fn evaluate(&self, m: &Mapping) -> Option<(Cost, f64)> {
+        self.inner.evaluate(m)
+    }
+
+    fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
+        self.pool.evaluate_batch(self.inner, batch)
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded, capacity-bounded memo table over canonical mapping forms.
+///
+/// The key is [`mappers::canonicalize`]'s output — mappings that differ
+/// only in the placement of unit-bound temporal loops are
+/// cost-equivalent, so they share an entry. Values memoize the *outcome*,
+/// including `None` (illegal / guard-rejected), so a rejected duplicate
+/// costs a lookup rather than a second guarded analysis. Eviction is
+/// per-shard FIFO: crude, but bounded and deterministic.
+pub struct EvalCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Mapping, Option<(Cost, f64)>>,
+    fifo: VecDeque<Mapping>,
+}
+
+impl EvalCache {
+    /// A cache bounded at roughly `capacity` entries (rounded up to the
+    /// shard count). `capacity == 0` builds a disabled cache that misses
+    /// everything and stores nothing.
+    pub fn new(capacity: usize) -> Self {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn enabled(&self) -> bool {
+        self.per_shard_capacity > 0
+    }
+
+    fn shard_of(&self, key: &Mapping) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a canonical key, counting the hit or miss.
+    pub fn lookup(&self, key: &Mapping) -> Option<Option<(Cost, f64)>> {
+        if !self.enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        match shard.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(*v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an outcome under a canonical key, evicting FIFO beyond
+    /// capacity.
+    pub fn insert(&self, key: Mapping, value: Option<(Cost, f64)>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard_of(&key).lock().unwrap_or_else(|e| e.into_inner());
+        if shard.map.insert(key.clone(), value).is_none() {
+            shard.fifo.push_back(key);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            while shard.fifo.len() > self.per_shard_capacity {
+                if let Some(old) = shard.fifo.pop_front() {
+                    shard.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// [`Evaluator`] decorator memoizing outcomes in an [`EvalCache`].
+///
+/// All cache traffic happens on the submitting thread in submission
+/// order — misses are forwarded (as one batch) to the inner evaluator and
+/// the results merged back by position — so enabling a pool underneath
+/// changes nothing about which lookups hit.
+pub struct CachedEvaluator<'a> {
+    cache: &'a EvalCache,
+    inner: &'a dyn Evaluator,
+}
+
+impl<'a> CachedEvaluator<'a> {
+    /// Wraps `inner` with memoization in `cache`.
+    pub fn new(cache: &'a EvalCache, inner: &'a dyn Evaluator) -> Self {
+        CachedEvaluator { cache, inner }
+    }
+}
+
+impl Evaluator for CachedEvaluator<'_> {
+    fn evaluate(&self, m: &Mapping) -> Option<(Cost, f64)> {
+        let key = mappers::canonicalize(m);
+        if let Some(hit) = self.cache.lookup(&key) {
+            return hit;
+        }
+        let out = self.inner.evaluate(m);
+        self.cache.insert(key, out);
+        out
+    }
+
+    fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
+        let mut results: Vec<Option<Option<(Cost, f64)>>> = Vec::with_capacity(batch.len());
+        let mut keys: Vec<Option<Mapping>> = Vec::with_capacity(batch.len());
+        let mut missing: Vec<Mapping> = Vec::new();
+        for m in batch {
+            let key = mappers::canonicalize(m);
+            match self.cache.lookup(&key) {
+                Some(hit) => {
+                    results.push(Some(hit));
+                    keys.push(None);
+                }
+                None => {
+                    results.push(None);
+                    keys.push(Some(key));
+                    missing.push(m.clone());
+                }
+            }
+        }
+        let fresh = self.inner.evaluate_batch(&missing);
+        let mut fresh_it = fresh.into_iter();
+        for (slot, key) in results.iter_mut().zip(keys) {
+            if slot.is_none() {
+                let out = fresh_it.next().expect("one outcome per miss");
+                if let Some(key) = key {
+                    self.cache.insert(key, out);
+                }
+                *slot = Some(out);
+            }
+        }
+        results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::Arch;
+    use costmodel::DenseModel;
+    use mappers::EdpEvaluator;
+    use mapping::MapSpace;
+    use problem::Problem;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MapSpace, DenseModel) {
+        let p = Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3);
+        let a = Arch::accel_b();
+        (MapSpace::new(p.clone(), a.clone()), DenseModel::new(p, a))
+    }
+
+    fn batch(space: &MapSpace, seed: u64, n: usize) -> Vec<Mapping> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| space.random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn pool_matches_serial_bit_for_bit() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let b = batch(&space, 0, 100);
+        let serial: Vec<_> = b.iter().map(|m| eval.evaluate(m)).collect();
+        for threads in [1, 2, 8] {
+            let pool = EvalPool::new(EvalConfig { threads, cache_capacity: 0 });
+            let pooled = PoolEvaluator::new(&pool, &eval);
+            let got = pooled.evaluate_batch(&b);
+            assert_eq!(got.len(), serial.len());
+            for (g, s) in got.iter().zip(&serial) {
+                assert_eq!(
+                    g.map(|(c, s)| (c.latency_cycles.to_bits(), c.energy_uj.to_bits(), s.to_bits())),
+                    s.map(|(c, s)| (c.latency_cycles.to_bits(), c.energy_uj.to_bits(), s.to_bits())),
+                    "thread count changed an outcome"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_propagates_original_panic_payload() {
+        #[derive(Debug)]
+        struct Marker(u64);
+        struct Bomb;
+        impl Evaluator for Bomb {
+            fn evaluate(&self, _m: &Mapping) -> Option<(Cost, f64)> {
+                std::panic::panic_any(Marker(42));
+            }
+        }
+        crate::fault::quiet_sentinel_panics();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (space, _) = setup();
+        let b = batch(&space, 1, 16);
+        let pool = EvalPool::new(EvalConfig { threads: 4, cache_capacity: 0 });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.evaluate_batch(&Bomb, &b);
+        }))
+        .unwrap_err();
+        std::panic::set_hook(prev);
+        let m = err.downcast_ref::<Marker>().expect("original payload preserved");
+        assert_eq!(m.0, 42);
+    }
+
+    #[test]
+    fn cache_hits_return_identical_outcomes() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let cache = EvalCache::new(1 << 12);
+        let cached = CachedEvaluator::new(&cache, &eval);
+        let b = batch(&space, 2, 50);
+        let first = cached.evaluate_batch(&b);
+        let again = cached.evaluate_batch(&b);
+        let s = cache.stats();
+        assert_eq!(s.misses, 50);
+        assert_eq!(s.hits, 50);
+        for (f, a) in first.iter().zip(&again) {
+            assert_eq!(
+                f.map(|(c, s)| (c.latency_cycles.to_bits(), c.energy_uj.to_bits(), s.to_bits())),
+                a.map(|(c, s)| (c.latency_cycles.to_bits(), c.energy_uj.to_bits(), s.to_bits()))
+            );
+        }
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let cache = EvalCache::new(SHARDS * 2);
+        let cached = CachedEvaluator::new(&cache, &eval);
+        let b = batch(&space, 3, 400);
+        let _ = cached.evaluate_batch(&b);
+        let s = cache.stats();
+        assert!(s.evictions > 0, "no evictions despite tiny capacity");
+        let live: usize = (0..SHARDS)
+            .map(|i| cache.shards[i].lock().unwrap().map.len())
+            .sum();
+        assert!(live <= SHARDS * 2, "cache exceeded its bound: {live}");
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let cache = EvalCache::new(0);
+        let cached = CachedEvaluator::new(&cache, &eval);
+        let b = batch(&space, 4, 10);
+        let _ = cached.evaluate_batch(&b);
+        let _ = cached.evaluate_batch(&b);
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.inserts, 0);
+        assert_eq!(s.misses, 20);
+    }
+}

@@ -11,7 +11,7 @@
 //! or panicked run can still be salvaged into a truncated result.
 
 use costmodel::{Cost, InjectedFault};
-use mappers::{Budget, ConvergencePoint, Evaluator, SearchResult};
+use mappers::{Budget, CacheStats, ConvergencePoint, Evaluator, SearchResult};
 use mapping::Mapping;
 use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -101,6 +101,7 @@ impl<'a> WatchdogEvaluator<'a> {
             pareto: vec![(m, c)],
             evaluated,
             elapsed,
+            cache: CacheStats::default(),
         })
     }
 
@@ -139,6 +140,42 @@ impl Evaluator for WatchdogEvaluator<'_> {
             }
         }
         out
+    }
+
+    /// Batch counterpart with identical enforcement semantics: exactly the
+    /// prefix that the serial path would have admitted is forwarded to the
+    /// inner evaluator (as one batch, so pooled evaluation stays inside the
+    /// watchdog's accounting), then the same [`WatchdogStop`] sentinel
+    /// fires at the same evaluation count the per-call path would have
+    /// reported.
+    fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
+        let start = self.evaluated.load(Ordering::Relaxed);
+        if let Some(t) = self.budget.max_time {
+            if self.start.elapsed() > t * 2 + std::time::Duration::from_millis(100) {
+                std::panic::panic_any(WatchdogStop { evaluated: start });
+            }
+        }
+        let allowed = match self.budget.max_samples {
+            Some(max) => (max + self.grace_evals).saturating_sub(start).min(batch.len()),
+            None => batch.len(),
+        };
+        let outs = self.inner.evaluate_batch(&batch[..allowed]);
+        self.evaluated.fetch_add(allowed, Ordering::Relaxed);
+        {
+            let mut shadow = self.shadow.lock().unwrap_or_else(|e| e.into_inner());
+            for (m, out) in batch[..allowed].iter().zip(&outs) {
+                if let Some((cost, score)) = out {
+                    if score.is_finite() && *score < shadow.best_score {
+                        shadow.best_score = *score;
+                        shadow.best = Some((m.clone(), *cost));
+                    }
+                }
+            }
+        }
+        if allowed < batch.len() {
+            std::panic::panic_any(WatchdogStop { evaluated: start + allowed });
+        }
+        outs
     }
 }
 
@@ -232,6 +269,24 @@ mod tests {
         let stop = err.downcast_ref::<WatchdogStop>().expect("watchdog sentinel");
         assert_eq!(stop.evaluated, 15, "fired exactly at budget + grace");
         assert!(is_sentinel(&*err));
+    }
+
+    #[test]
+    fn batch_overrun_fires_same_sentinel_as_serial() {
+        quiet_sentinel_panics();
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let dog = WatchdogEvaluator::new(&eval, Budget::samples(10), 5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let batch: Vec<_> = (0..40).map(|_| space.random(&mut rng)).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _ = dog.evaluate_batch(&batch);
+        }))
+        .unwrap_err();
+        let stop = err.downcast_ref::<WatchdogStop>().expect("watchdog sentinel");
+        assert_eq!(stop.evaluated, 15, "fired exactly at budget + grace");
+        assert_eq!(dog.evaluated(), 15, "admitted prefix still counted");
+        assert!(dog.best_score().is_finite(), "shadow captured the prefix");
     }
 
     #[test]

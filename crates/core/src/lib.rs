@@ -24,18 +24,23 @@
 //! ```
 
 mod driver;
+pub mod eval;
 pub mod fault;
 pub mod runtime;
 pub mod sparsity;
 pub mod warmstart;
 
 pub use driver::{convergence_sample, samples_to_reach, Mse};
+pub use eval::{CachedEvaluator, EvalCache, EvalConfig, EvalPool, PoolEvaluator};
 pub use fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};
 pub use runtime::{
-    run_network_checkpointed, CheckpointError, LayerCheckpoint, RunPolicy, SweepCheckpoint,
+    run_network_checkpointed, run_network_checkpointed_parallel, CheckpointError, LayerCheckpoint,
+    RunPolicy, SweepCheckpoint,
 };
 pub use sparsity::{
     density_sweep, weight_density_sweep, SparsityAwareEvaluator, StaticDensityEvaluator,
     DEFAULT_SEARCH_DENSITIES,
 };
-pub use warmstart::{run_network, InitStrategy, LayerOutcome, ReplayBuffer};
+pub use warmstart::{
+    run_network, run_network_parallel, InitStrategy, LayerOutcome, ReplayBuffer,
+};

@@ -26,8 +26,11 @@
 //!    layer index, and the replay buffer is rebuilt from the checkpoint).
 
 use crate::driver::Mse;
+use crate::eval::{CachedEvaluator, EvalCache, EvalConfig, EvalPool, PoolEvaluator};
 use crate::fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};
-use crate::warmstart::{run_network_from, InitStrategy, LayerOutcome, ReplayBuffer};
+use crate::warmstart::{
+    run_network_from, run_network_parallel_from, InitStrategy, LayerOutcome, ReplayBuffer,
+};
 use arch::Arch;
 use costmodel::{Cost, CostModel, GuardAudit};
 use mappers::{
@@ -53,11 +56,18 @@ pub struct RunPolicy {
     /// out, so the hard stop only fires this many evaluations past the
     /// limit.
     pub grace_evals: usize,
+    /// Evaluation-stack configuration: worker-pool width and cache
+    /// capacity. Defaults to [`EvalConfig::serial`] (one lane, no cache) —
+    /// the historical behavior — so library callers opt in explicitly;
+    /// the CLI runs [`EvalConfig::full`] unless `--threads` says
+    /// otherwise. Results are bit-identical across configurations by
+    /// construction; only throughput (and cache counters) change.
+    pub eval: EvalConfig,
 }
 
 impl Default for RunPolicy {
     fn default() -> Self {
-        RunPolicy { retries: 2, grace_evals: 1024 }
+        RunPolicy { retries: 2, grace_evals: 1024, eval: EvalConfig::serial() }
     }
 }
 
@@ -65,6 +75,12 @@ impl RunPolicy {
     /// Policy with a given retry count and the default grace window.
     pub fn with_retries(retries: usize) -> Self {
         RunPolicy { retries, ..RunPolicy::default() }
+    }
+
+    /// Same policy with a different evaluation-stack configuration.
+    pub fn with_eval(mut self, eval: EvalConfig) -> Self {
+        self.eval = eval;
+        self
     }
 }
 
@@ -141,6 +157,28 @@ impl Mse<'_> {
     ) -> RunOutcome {
         quiet_sentinel_panics();
         let space = self.space();
+        // Evaluation stack, innermost first: the caller's evaluator, a
+        // worker pool for batch dispatch, a memo cache (on the submitting
+        // thread, so hit sequences are thread-count independent), and the
+        // per-attempt watchdog outermost so its counts include cache hits
+        // and stay identical to an uncached serial run. Pool and cache
+        // persist across retry attempts.
+        let pool = EvalPool::new(policy.eval);
+        let cache = EvalCache::new(policy.eval.cache_capacity);
+        let pooled;
+        let inner: &dyn Evaluator = if pool.lanes() > 1 {
+            pooled = PoolEvaluator::new(&pool, evaluator);
+            &pooled
+        } else {
+            evaluator
+        };
+        let cached;
+        let stack: &dyn Evaluator = if cache.enabled() {
+            cached = CachedEvaluator::new(&cache, inner);
+            &cached
+        } else {
+            inner
+        };
         let mut attempts: Vec<AttemptRecord> = Vec::new();
         // Best truncated result salvaged from panicked attempts, kept in
         // case every attempt fails.
@@ -148,7 +186,7 @@ impl Mse<'_> {
         for attempt in 0..=policy.retries {
             let attempt_seed = reseed(seed, attempt as u64);
             let rejections_before = audit.map_or(0, |a| a.report().rejections);
-            let watchdog = WatchdogEvaluator::new(evaluator, budget, policy.grace_evals);
+            let watchdog = WatchdogEvaluator::new(stack, budget, policy.grace_evals);
             let started = Instant::now();
             let run = catch_unwind(AssertUnwindSafe(|| {
                 let mut rng = SmallRng::seed_from_u64(attempt_seed);
@@ -160,7 +198,8 @@ impl Mse<'_> {
                 .map_or(0, |a| (a.report().rejections - rejections_before) as usize);
             let violations = audit.map_or_else(Vec::new, |a| a.take_violations());
             match run {
-                Ok(result) => {
+                Ok(mut result) => {
+                    result.cache = cache.stats();
                     let error = if result.best.is_none() {
                         match violations.first() {
                             // Nothing scored *and* the guard was busy: the
@@ -221,7 +260,10 @@ impl Mse<'_> {
                             mapper: mapper.name().to_string(),
                             status: RunStatus::WatchdogStopped,
                             attempts,
-                            result: watchdog.salvage(),
+                            result: watchdog.salvage().map(|mut s| {
+                                s.cache = cache.stats();
+                                s
+                            }),
                         };
                     }
                     attempts.push(AttemptRecord {
@@ -249,7 +291,10 @@ impl Mse<'_> {
             mapper: mapper.name().to_string(),
             status: RunStatus::Failed,
             attempts,
-            result: salvaged,
+            result: salvaged.map(|mut s| {
+                s.cache = cache.stats();
+                s
+            }),
         }
     }
 
@@ -385,6 +430,7 @@ impl LayerCheckpoint {
                 pareto,
                 evaluated: self.evaluated,
                 elapsed: Duration::from_secs_f64(self.elapsed_secs.max(0.0)),
+                cache: mappers::CacheStats::default(),
             },
             converge_sample: self.converge_sample,
         })
@@ -653,21 +699,7 @@ where
     M: FnMut(&Problem) -> Box<dyn CostModel + 'm>,
     F: FnMut() -> Box<dyn Mapper>,
 {
-    let mut ckpt = if resume && checkpoint_path.exists() {
-        let c = SweepCheckpoint::load(checkpoint_path)?;
-        c.check_matches(seed, strategy, budget, layers)?;
-        c
-    } else {
-        SweepCheckpoint::new(seed, strategy, budget)
-    };
-    let mut out = Vec::with_capacity(layers.len());
-    for (lc, layer) in ckpt.layers.iter().zip(layers) {
-        let outcome = lc.to_outcome()?;
-        if let Some((best, _)) = &outcome.result.best {
-            buffer.insert(layer.clone(), best.clone());
-        }
-        out.push(outcome);
-    }
+    let (mut ckpt, mut out) = replay_checkpoint(layers, buffer, strategy, budget, seed, checkpoint_path, resume)?;
     let start = ckpt.layers.len();
     let rest = run_network_from(
         start,
@@ -686,6 +718,88 @@ where
     )?;
     out.extend(rest);
     Ok(out)
+}
+
+/// [`run_network_checkpointed`] with the multi-threaded layer sweep of
+/// [`crate::warmstart::run_network_parallel`]: remaining layers fan out
+/// over `threads` scoped workers (0 = one per core) while checkpoint
+/// writes still happen strictly in layer order on the calling thread, so
+/// a resumed or serial run reproduces the identical sweep. Non-`Random`
+/// init strategies fall back to the serial chain (warm-start reads the
+/// replay buffer between layers).
+///
+/// # Errors
+///
+/// [`CheckpointError`] exactly as [`run_network_checkpointed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_checkpointed_parallel<'m, M, F>(
+    layers: &[Problem],
+    arch: &Arch,
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    threads: usize,
+    make_model: M,
+    make_mapper: F,
+    checkpoint_path: &Path,
+    resume: bool,
+) -> Result<Vec<LayerOutcome>, CheckpointError>
+where
+    M: Fn(&Problem) -> Box<dyn CostModel + 'm> + Sync,
+    F: Fn() -> Box<dyn Mapper> + Sync,
+{
+    let (mut ckpt, mut out) = replay_checkpoint(layers, buffer, strategy, budget, seed, checkpoint_path, resume)?;
+    let start = ckpt.layers.len();
+    let rest = run_network_parallel_from(
+        start,
+        layers,
+        arch,
+        buffer,
+        strategy,
+        budget,
+        seed,
+        threads,
+        make_model,
+        make_mapper,
+        |_, outcome| {
+            ckpt.layers.push(LayerCheckpoint::from_outcome(outcome));
+            ckpt.save(checkpoint_path)
+        },
+    )?;
+    out.extend(rest);
+    Ok(out)
+}
+
+/// Shared prelude of the checkpointed sweeps: load (or create) the
+/// checkpoint, validate it against this sweep's parameters, and rebuild
+/// the outcomes and replay-buffer contributions of already-completed
+/// layers.
+fn replay_checkpoint(
+    layers: &[Problem],
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    checkpoint_path: &Path,
+    resume: bool,
+) -> Result<(SweepCheckpoint, Vec<LayerOutcome>), CheckpointError> {
+    let ckpt = if resume && checkpoint_path.exists() {
+        let c = SweepCheckpoint::load(checkpoint_path)?;
+        c.check_matches(seed, strategy, budget, layers)?;
+        c
+    } else {
+        SweepCheckpoint::new(seed, strategy, budget)
+    };
+    let mut out = Vec::with_capacity(layers.len());
+    for (lc, layer) in ckpt.layers.iter().zip(layers) {
+        let outcome = lc.to_outcome()?;
+        if let Some((best, _)) = &outcome.result.best {
+            buffer.insert(layer.clone(), best.clone());
+        }
+        out.push(outcome);
+    }
+    Ok((ckpt, out))
 }
 
 fn json_string(s: &str) -> String {

@@ -220,41 +220,233 @@ where
     let mut out = Vec::with_capacity(layers.len().saturating_sub(start));
     for (i, layer) in layers.iter().enumerate().skip(start) {
         let model = make_model(layer);
-        let mse = Mse::new(model.as_ref());
         let mut mapper = make_mapper();
-        let warm = buffer.seed_for(layer, arch, strategy);
-        let init_score = match &warm {
-            Some(m) => model.evaluate(m).map(|c| c.edp()).unwrap_or(f64::INFINITY),
-            None => {
-                // Reference random-init quality: the first legal random
-                // draw, matching how Fig. 9's blue bars are measured.
-                let space = mse.space();
-                use rand::SeedableRng;
-                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ (i as u64) << 32);
-                model
-                    .evaluate(&space.random(&mut rng))
-                    .map(|c| c.edp())
-                    .unwrap_or(f64::INFINITY)
-            }
-        };
-        if let Some(m) = warm {
-            mapper.set_seeds(vec![m]);
-        }
-        let result = mse.run(mapper.as_ref(), budget, seed.wrapping_add(i as u64));
-        if let Some((best, _)) = &result.best {
+        let outcome =
+            run_layer(i, layer, arch, buffer, strategy, budget, seed, model.as_ref(), &mut mapper);
+        if let Some((best, _)) = &outcome.result.best {
             buffer.insert(layer.clone(), best.clone());
         }
-        let converge_sample = convergence_sample(&result, 0.995);
-        let outcome = LayerOutcome {
-            name: layer.name().to_string(),
-            init_score,
-            result,
-            converge_sample,
-        };
         on_layer(i, &outcome)?;
         out.push(outcome);
     }
     Ok(out)
+}
+
+/// One layer of a sweep: derives the warm-start (or reference random)
+/// init score, seeds the mapper, and searches. Seed derivations depend
+/// only on the *global* layer index `i`, so the same layer produces the
+/// same outcome regardless of which thread (or resume point) runs it.
+///
+/// Does **not** insert the winner into the replay buffer — the caller
+/// does, so insertion order stays the layer order even when layers finish
+/// out of order (see [`run_network_parallel`]).
+#[allow(clippy::too_many_arguments)] // mirrors the sweep's full parameter surface
+fn run_layer(
+    i: usize,
+    layer: &Problem,
+    arch: &Arch,
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    model: &dyn CostModel,
+    mapper: &mut Box<dyn Mapper>,
+) -> LayerOutcome {
+    let mse = Mse::new(model);
+    let warm = buffer.seed_for(layer, arch, strategy);
+    let init_score = match &warm {
+        Some(m) => model.evaluate(m).map(|c| c.edp()).unwrap_or(f64::INFINITY),
+        None => {
+            // Reference random-init quality: the first legal random
+            // draw, matching how Fig. 9's blue bars are measured.
+            let space = mse.space();
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ (i as u64) << 32);
+            model.evaluate(&space.random(&mut rng)).map(|c| c.edp()).unwrap_or(f64::INFINITY)
+        }
+    };
+    if let Some(m) = warm {
+        mapper.set_seeds(vec![m]);
+    }
+    let result = mse.run(mapper.as_ref(), budget, seed.wrapping_add(i as u64));
+    let converge_sample = convergence_sample(&result, 0.995);
+    LayerOutcome { name: layer.name().to_string(), init_score, result, converge_sample }
+}
+
+/// Multi-threaded variant of [`run_network`]: layers are claimed by a
+/// small pool of scoped worker threads and their outcomes flushed in
+/// layer order, so the returned vector, the replay-buffer contents, and
+/// every `on_layer` callback are **bit-identical** to the serial sweep.
+///
+/// Only [`InitStrategy::Random`] layers are independent (warm-start
+/// strategies read the replay buffer between layers, which forces the
+/// serial chain), so any other strategy — or `threads <= 1` — falls back
+/// to the serial path. `threads == 0` means one per available core.
+#[allow(clippy::too_many_arguments)] // mirrors the sweep's full parameter surface
+pub fn run_network_parallel<'m, M, F>(
+    layers: &[Problem],
+    arch: &Arch,
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    threads: usize,
+    make_model: M,
+    make_mapper: F,
+) -> Vec<LayerOutcome>
+where
+    M: Fn(&Problem) -> Box<dyn CostModel + 'm> + Sync,
+    F: Fn() -> Box<dyn Mapper> + Sync,
+{
+    match run_network_parallel_from(
+        0,
+        layers,
+        arch,
+        buffer,
+        strategy,
+        budget,
+        seed,
+        threads,
+        make_model,
+        make_mapper,
+        |_, _| Ok::<(), std::convert::Infallible>(()),
+    ) {
+        Ok(out) => out,
+        Err(e) => match e {},
+    }
+}
+
+/// Why the in-order flush stopped early.
+enum FlushStop<E> {
+    /// The `on_layer` hook failed (e.g. a checkpoint write error).
+    Hook(E),
+    /// A worker's layer panicked; the payload is re-thrown on the caller.
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// The parallel counterpart of [`run_network_from`] (same contract, same
+/// checkpoint hook), shared by [`run_network_parallel`] and
+/// `mse::runtime::run_network_checkpointed_parallel`.
+#[allow(clippy::too_many_arguments)] // mirrors the sweep's full parameter surface
+pub(crate) fn run_network_parallel_from<'m, M, F, E>(
+    start: usize,
+    layers: &[Problem],
+    arch: &Arch,
+    buffer: &ReplayBuffer,
+    strategy: InitStrategy,
+    budget: Budget,
+    seed: u64,
+    threads: usize,
+    make_model: M,
+    make_mapper: F,
+    mut on_layer: impl FnMut(usize, &LayerOutcome) -> Result<(), E>,
+) -> Result<Vec<LayerOutcome>, E>
+where
+    M: Fn(&Problem) -> Box<dyn CostModel + 'm> + Sync,
+    F: Fn() -> Box<dyn Mapper> + Sync,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex};
+
+    let n = layers.len();
+    let remaining = n.saturating_sub(start);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let workers = threads.min(remaining);
+    if workers <= 1 || strategy != InitStrategy::Random {
+        return run_network_from(
+            start, layers, arch, buffer, strategy, budget, seed, make_model, make_mapper, on_layer,
+        );
+    }
+
+    type Slot = Option<Result<LayerOutcome, Box<dyn std::any::Any + Send>>>;
+    let cursor = AtomicUsize::new(start);
+    let abort = AtomicBool::new(false);
+    let slots: Mutex<Vec<Slot>> = Mutex::new((0..remaining).map(|_| None).collect());
+    let filled = Condvar::new();
+
+    let (out, stop) = std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if abort.load(Ordering::Acquire) {
+                    return;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let layer = &layers[i];
+                // Catch panics here so the flusher below (which waits on
+                // this slot) never deadlocks on a dead worker; the payload
+                // is re-thrown on the calling thread in layer order,
+                // matching what the serial sweep would have raised.
+                let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let model = make_model(layer);
+                    let mut mapper = make_mapper();
+                    run_layer(
+                        i,
+                        layer,
+                        arch,
+                        buffer,
+                        strategy,
+                        budget,
+                        seed,
+                        model.as_ref(),
+                        &mut mapper,
+                    )
+                }));
+                let mut st = slots.lock().unwrap_or_else(|e| e.into_inner());
+                st[i - start] = Some(done);
+                filled.notify_all();
+            });
+        }
+        // Flush strictly in layer order on the calling thread: replay
+        // buffer inserts, checkpoint writes, and the returned vector all
+        // match the serial sweep exactly.
+        let mut out = Vec::with_capacity(remaining);
+        let mut stop: Option<FlushStop<E>> = None;
+        for i in start..n {
+            let slot = {
+                let mut st = slots.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(slot) = st[i - start].take() {
+                        break slot;
+                    }
+                    st = filled.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            match slot {
+                Ok(outcome) => {
+                    if let Some((best, _)) = &outcome.result.best {
+                        buffer.insert(layers[i].clone(), best.clone());
+                    }
+                    if let Err(e) = on_layer(i, &outcome) {
+                        stop = Some(FlushStop::Hook(e));
+                        break;
+                    }
+                    out.push(outcome);
+                }
+                Err(payload) => {
+                    stop = Some(FlushStop::Panic(payload));
+                    break;
+                }
+            }
+        }
+        if stop.is_some() {
+            // Workers drain: each finishes its in-flight layer, then sees
+            // the flag before claiming another and exits.
+            abort.store(true, Ordering::Release);
+        }
+        (out, stop)
+    });
+    match stop {
+        None => Ok(out),
+        Some(FlushStop::Hook(e)) => Err(e),
+        Some(FlushStop::Panic(p)) => std::panic::resume_unwind(p),
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +530,94 @@ mod tests {
         // Final quality comparable (within 2x), per Fig. 11(a).
         let ratio = warm[1].result.best_score / cold[1].result.best_score;
         assert!(ratio < 2.0, "warm-start degraded final quality by {ratio:.2}x");
+    }
+
+    #[test]
+    fn parallel_network_run_matches_serial() {
+        let arch = Arch::accel_b();
+        let layers = vec![
+            Problem::conv2d("l1", 2, 8, 8, 7, 7, 3, 3),
+            Problem::conv2d("l2", 2, 16, 8, 7, 7, 3, 3),
+            Problem::conv2d("l3", 2, 16, 16, 7, 7, 3, 3),
+            Problem::gemm("l4", 2, 16, 16, 16),
+        ];
+        let make_model =
+            |p: &Problem| -> Box<dyn CostModel> { Box::new(DenseModel::new(p.clone(), Arch::accel_b())) };
+        let make_mapper = || -> Box<dyn Mapper> { Box::new(Gamma::new()) };
+        let serial_buf = ReplayBuffer::new();
+        let serial = run_network(
+            &layers,
+            &arch,
+            &serial_buf,
+            InitStrategy::Random,
+            Budget::samples(120),
+            9,
+            make_model,
+            make_mapper,
+        );
+        for threads in [2, 8] {
+            let buf = ReplayBuffer::new();
+            let par = run_network_parallel(
+                &layers,
+                &arch,
+                &buf,
+                InitStrategy::Random,
+                Budget::samples(120),
+                9,
+                threads,
+                make_model,
+                make_mapper,
+            );
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.name, s.name);
+                assert_eq!(p.init_score, s.init_score, "init diverged on {}", p.name);
+                assert_eq!(p.result.best_score, s.result.best_score, "score diverged on {}", p.name);
+                assert_eq!(p.result.best, s.result.best, "mapping diverged on {}", p.name);
+                // `seconds` is wall-clock; compare the deterministic fields.
+                assert_eq!(p.result.history.len(), s.result.history.len());
+                for (hp, hs) in p.result.history.iter().zip(&s.result.history) {
+                    assert_eq!((hp.samples, hp.best_score), (hs.samples, hs.best_score));
+                }
+                assert_eq!(p.converge_sample, s.converge_sample);
+            }
+            // Replay-buffer contents (and order) match the serial sweep.
+            assert_eq!(buf.len(), serial_buf.len());
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            buf.save(&mut a).unwrap();
+            serial_buf.save(&mut b).unwrap();
+            assert_eq!(a, b, "replay buffer diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_network_run_propagates_layer_panics() {
+        let arch = Arch::accel_b();
+        let layers = vec![
+            Problem::conv2d("ok", 2, 8, 8, 7, 7, 3, 3),
+            Problem::conv2d("boom", 2, 16, 8, 7, 7, 3, 3),
+        ];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_network_parallel(
+                &layers,
+                &arch,
+                &ReplayBuffer::new(),
+                InitStrategy::Random,
+                Budget::samples(60),
+                0,
+                4,
+                |p: &Problem| -> Box<dyn CostModel> {
+                    if p.name() == "boom" {
+                        std::panic::panic_any("rigged layer");
+                    }
+                    Box::new(DenseModel::new(p.clone(), Arch::accel_b()))
+                },
+                || -> Box<dyn Mapper> { Box::new(Gamma::new()) },
+            )
+        }));
+        let payload = caught.expect_err("rigged panic swallowed");
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "rigged layer");
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Acceptance tests for the parallel evaluation engine: thread count must
+//! never change results (bit-identical incumbent, history, Pareto archive,
+//! and attempt audit trail), and the evaluation cache must never change a
+//! reported cost — including under the guard's reject policy, whose
+//! quarantine accounting must match between serial and parallel runs.
+
+use arch::Arch;
+use costmodel::{DenseModel, FaultConfig, FaultyModel, GuardAudit, GuardPolicy, GuardedModel};
+use mappers::{Budget, EdpEvaluator, Gamma, Mapper, RandomMapper, SearchResult, StandardGa};
+use mse::{EvalConfig, Mse, RunPolicy};
+use problem::Problem;
+
+fn policy(eval: EvalConfig) -> RunPolicy {
+    RunPolicy::with_retries(0).with_eval(eval)
+}
+
+/// Field-by-field equality, skipping only wall-clock times.
+fn assert_identical(a: &SearchResult, b: &SearchResult, what: &str) {
+    assert_eq!(a.best, b.best, "{what}: incumbent diverged");
+    assert_eq!(a.best_score, b.best_score, "{what}: best score diverged");
+    assert_eq!(a.evaluated, b.evaluated, "{what}: evaluation count diverged");
+    assert_eq!(a.history.len(), b.history.len(), "{what}: history length diverged");
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(
+            (x.samples, x.best_score),
+            (y.samples, y.best_score),
+            "{what}: history diverged"
+        );
+    }
+    assert_eq!(a.pareto, b.pareto, "{what}: pareto archive diverged");
+    assert_eq!(a.samples, b.samples, "{what}: sample log diverged");
+}
+
+#[test]
+fn parallel_runs_bit_identical_across_thread_counts() {
+    let problems =
+        [Problem::conv2d("c", 2, 16, 16, 14, 14, 3, 3), Problem::gemm("g", 2, 32, 32, 32)];
+    let archs = [Arch::accel_a(), Arch::accel_b()];
+    let mappers: Vec<Box<dyn Mapper>> =
+        vec![Box::new(Gamma::new()), Box::new(StandardGa::new()), Box::new(RandomMapper::new())];
+    for p in &problems {
+        for a in &archs {
+            let model = DenseModel::new(p.clone(), a.clone());
+            let mse = Mse::new(&model);
+            for mapper in &mappers {
+                let tag = format!("{}/{}/{}", mapper.name(), p.name(), a.name());
+                let serial = mse.run_guarded(
+                    mapper.as_ref(),
+                    Budget::samples(300),
+                    7,
+                    policy(EvalConfig::serial()),
+                );
+                let sres = serial.result.as_ref().expect("serial search produced a result");
+                for threads in [1usize, 2, 8] {
+                    let par = mse.run_guarded(
+                        mapper.as_ref(),
+                        Budget::samples(300),
+                        7,
+                        policy(EvalConfig { threads, cache_capacity: 0 }),
+                    );
+                    // Attempt audit trail matches: same seeds, same
+                    // accept/reject outcomes, same per-attempt counts.
+                    assert_eq!(par.attempts.len(), serial.attempts.len(), "{tag}");
+                    for (x, y) in par.attempts.iter().zip(&serial.attempts) {
+                        assert_eq!(x.seed, y.seed, "{tag}: attempt seed diverged");
+                        assert_eq!(x.evaluated, y.evaluated, "{tag}: attempt count diverged");
+                        assert_eq!(x.best_score, y.best_score, "{tag}: attempt score diverged");
+                        assert_eq!(x.quarantined, y.quarantined, "{tag}: quarantine diverged");
+                    }
+                    let pres = par.result.as_ref().expect("parallel search produced a result");
+                    assert_identical(pres, sres, &format!("{tag} @ {threads} threads"));
+                }
+            }
+        }
+    }
+}
+
+/// One guarded+faulty run: a deterministic per-mapping NaN injector under
+/// the reject policy, so a fixed subset of mappings is quarantined no
+/// matter which thread (or cache shard) handles them.
+fn guarded_run(eval: EvalConfig) -> (mappers::RunOutcome, costmodel::GuardReport) {
+    let p = Problem::conv2d("c", 2, 16, 16, 14, 14, 3, 3);
+    let faulty =
+        FaultyModel::new(DenseModel::new(p, Arch::accel_b()), FaultConfig::nans(0.2, 3));
+    let guarded = GuardedModel::dense(faulty, GuardPolicy::Reject);
+    let evaluator = EdpEvaluator::new(&guarded);
+    let mse = Mse::new(&guarded);
+    let outcome = mse.run_guarded_audited(
+        &Gamma::new(),
+        &evaluator,
+        Budget::samples(400),
+        5,
+        policy(eval),
+        &guarded,
+    );
+    let report = guarded.report();
+    (outcome, report)
+}
+
+#[test]
+fn cache_and_pool_preserve_guard_quarantine_semantics() {
+    let (serial, serial_report) = guarded_run(EvalConfig::serial());
+    let sres = serial.result.as_ref().expect("serial guarded run produced a result");
+    assert!(serial_report.rejections > 0, "fault injector produced no quarantines");
+
+    // Parallel, uncached: identical results AND identical quarantine
+    // accounting — the pool must not change what the guard sees.
+    let (par, par_report) = guarded_run(EvalConfig { threads: 4, cache_capacity: 0 });
+    assert_identical(par.result.as_ref().unwrap(), sres, "guarded parallel");
+    assert_eq!(par_report.violations, serial_report.violations);
+    assert_eq!(par_report.rejections, serial_report.rejections);
+    assert_eq!(
+        par.attempts.iter().map(|at| at.quarantined).collect::<Vec<_>>(),
+        serial.attempts.iter().map(|at| at.quarantined).collect::<Vec<_>>()
+    );
+
+    // Cached: identical search results (a hit must return exactly what a
+    // fresh evaluation would, including "rejected"), >0 hits, and *fewer*
+    // model calls — dedup is the whole point.
+    let (cached, cached_report) = guarded_run(EvalConfig { threads: 4, cache_capacity: 1 << 16 });
+    let cres = cached.result.as_ref().expect("cached guarded run produced a result");
+    assert_identical(cres, sres, "guarded cached");
+    assert!(cres.cache.hits > 0, "gamma run produced no cache hits");
+    assert_eq!(cres.cache.hits + cres.cache.misses, cres.evaluated as u64);
+    assert!(
+        cached_report.evaluations < serial_report.evaluations,
+        "cache did not reduce model evaluations ({} vs {})",
+        cached_report.evaluations,
+        serial_report.evaluations
+    );
+}

@@ -169,7 +169,7 @@ impl Mapper for BudgetIgnorer {
 fn watchdog_stops_mapper_ignoring_sample_budget() {
     let model = dense();
     let mse = Mse::new(&model);
-    let policy = RunPolicy { retries: 2, grace_evals: 64 };
+    let policy = RunPolicy { retries: 2, grace_evals: 64, ..RunPolicy::default() };
     let outcome = mse.run_guarded(&BudgetIgnorer, Budget::samples(200), 3, policy);
     assert_eq!(outcome.status, RunStatus::WatchdogStopped);
     // No retry for runaway mappers — they would run away again.

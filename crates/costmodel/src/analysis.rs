@@ -9,7 +9,7 @@
 //! energies gives energy; a compute/bandwidth roofline gives latency.
 
 use crate::cost::Cost;
-use crate::style::{classify, ProductStyle};
+use crate::style::ProductStyle;
 use arch::{Arch, SparseCaps};
 use mapping::{Loop, Mapping, MappingError};
 use problem::{Density, Problem, TensorKind};
@@ -155,6 +155,11 @@ fn multiplicities(nest: &[Loop], level: usize, relevant: impl Fn(usize) -> bool)
 /// and sparse capabilities. The dense model is the special case
 /// `Density::DENSE` + [`SparseCaps::none`] + [`CapacityMode::Strict`].
 ///
+/// One-shot convenience over [`AnalysisContext`]: hot paths (the cost
+/// models, which evaluate thousands of mappings against one fixed
+/// `(problem, arch)` pair) hold a context instead, so the per-pair
+/// invariants below are derived once, not per mapping.
+///
 /// # Errors
 ///
 /// Returns a structural [`MappingError`] for illegal mappings, or
@@ -167,175 +172,299 @@ pub fn analyze(
     caps: &SparseCaps,
     capacity: CapacityMode,
 ) -> Result<Breakdown, MappingError> {
-    m.validate_structure(problem, arch)?;
+    AnalysisContext::new(problem, arch, density, caps, capacity).analyze(m)
+}
 
-    let nl = arch.num_levels();
-    let tensors = problem.tensors();
-    let macs = problem.total_macs() as f64;
-    let occupancy = density.weight * density.input;
+/// Everything the traffic engine needs that does *not* depend on the
+/// mapping being evaluated: total MACs, occupancy, compression scales,
+/// per-tensor relevance bitmasks, reduction dims, the virtual register
+/// tile. A mapper evaluates thousands to millions of mappings against one
+/// fixed `(problem, arch, density, caps)` tuple, so these invariants are
+/// hoisted out of the per-mapping path ([`AnalysisContext::analyze`]).
+#[derive(Debug, Clone)]
+pub struct AnalysisContext {
+    problem: Problem,
+    arch: Arch,
+    density: Density,
+    caps: SparseCaps,
+    capacity: CapacityMode,
+    /// Dense MAC count.
+    macs: f64,
+    /// Probability a MAC has both operands nonzero.
+    occupancy: f64,
+    /// Reduction dims (output-irrelevant), canonical order.
+    reduction_dims: Vec<usize>,
+    /// Bit `d` set ⇔ dim `d` is a reduction dim (for style classification).
+    reduction_mask: u64,
+    /// Per-tensor relevance bitmask: bit `d` set ⇔ the tensor depends on
+    /// dim `d`.
+    relevance: Vec<u64>,
+    /// Per-tensor traffic/footprint scale from compression (outputs get a
+    /// per-level scale during analysis).
+    scale: Vec<f64>,
+    /// Per-tensor *capacity provisioning* scale: worst case over runtime
+    /// densities — activations/outputs dense, weights may be compressed.
+    cap_scale: Vec<f64>,
+    /// The virtual per-ALU register tile (all-unit extents).
+    unit_tile: Vec<u64>,
+}
 
-    // A tensor is stored compressed only when the compressed form
-    // (nnz + metadata) is smaller than the dense form.
-    let compress = |d: f64| -> f64 {
-        if caps.compressed {
-            (d * (1.0 + caps.metadata_per_nnz)).min(1.0)
+impl AnalysisContext {
+    /// Precomputes the per-`(problem, arch, density, caps)` invariants.
+    pub fn new(
+        problem: &Problem,
+        arch: &Arch,
+        density: Density,
+        caps: &SparseCaps,
+        capacity: CapacityMode,
+    ) -> Self {
+        let tensors = problem.tensors();
+        let macs = problem.total_macs() as f64;
+        let occupancy = density.weight * density.input;
+        // A tensor is stored compressed only when the compressed form
+        // (nnz + metadata) is smaller than the dense form.
+        let compress = |d: f64| -> f64 {
+            if caps.compressed {
+                (d * (1.0 + caps.metadata_per_nnz)).min(1.0)
+            } else {
+                1.0
+            }
+        };
+        let reduction_dims = problem.reduction_dims();
+        let mut reduction_mask = 0u64;
+        for &d in &reduction_dims {
+            reduction_mask |= 1 << d;
+        }
+        let relevance = tensors
+            .iter()
+            .map(|t| {
+                let mut mask = 0u64;
+                for d in 0..problem.num_dims() {
+                    if t.projection.depends_on(d) {
+                        mask |= 1 << d;
+                    }
+                }
+                mask
+            })
+            .collect();
+        let scale: Vec<f64> = tensors
+            .iter()
+            .map(|t| match t.kind {
+                TensorKind::Output => 1.0,
+                k => compress(density.of(k)),
+            })
+            .collect();
+        // Capacity must be provisioned for the *worst case* of any density
+        // that is dynamic at runtime: activations (and therefore partial
+        // outputs) vary per input, so their tiles are allocated at dense
+        // size. Weight sparsity is static (fixed when the model is
+        // pruned), so weight tiles may be provisioned compressed.
+        let cap_scale = tensors
+            .iter()
+            .zip(&scale)
+            .map(|(t, s)| match t.kind {
+                TensorKind::Weight => *s,
+                TensorKind::Input | TensorKind::Output => 1.0,
+            })
+            .collect();
+        let unit_tile = vec![1u64; problem.num_dims()];
+        AnalysisContext {
+            problem: problem.clone(),
+            arch: arch.clone(),
+            density,
+            caps: *caps,
+            capacity,
+            macs,
+            occupancy,
+            reduction_dims,
+            reduction_mask,
+            relevance,
+            scale,
+            cap_scale,
+            unit_tile,
+        }
+    }
+
+    /// The workload this context is bound to.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The accelerator this context is bound to.
+    pub fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    /// The density profile this context evaluates at.
+    pub fn density(&self) -> Density {
+        self.density
+    }
+
+    /// The sparse capability description.
+    pub fn caps(&self) -> &SparseCaps {
+        &self.caps
+    }
+
+    fn compress(&self, d: f64) -> f64 {
+        if self.caps.compressed {
+            (d * (1.0 + self.caps.metadata_per_nnz)).min(1.0)
         } else {
             1.0
         }
-    };
-    // Density of a *partially accumulated* output tile at a level is
-    // governed by the reduction volume already folded inside that tile:
-    // per-MAC partial updates (the register boundary) are `occupancy`
-    // dense, while a fully reduced DRAM output is `1-(1-occ)^R` dense.
-    let reduction_dims = problem.reduction_dims();
-    let out_density_at = |ext: &[u64]| -> f64 {
-        let red_inside: f64 = reduction_dims.iter().map(|&d| ext[d] as f64).product();
-        (1.0 - (1.0 - occupancy).powf(red_inside)).clamp(occupancy.min(1.0), 1.0)
-    };
+    }
 
-    // Per-tensor traffic/footprint scale from compression (outputs get
-    // their per-level scale in the boundary loop below).
-    let scale: Vec<f64> = tensors
-        .iter()
-        .map(|t| match t.kind {
-            TensorKind::Output => 1.0,
-            k => compress(density.of(k)),
+    /// Density of a *partially accumulated* output tile at a level,
+    /// governed by the reduction volume already folded inside that tile:
+    /// per-MAC partial updates (the register boundary) are `occupancy`
+    /// dense, while a fully reduced DRAM output is `1-(1-occ)^R` dense.
+    fn out_density_at(&self, ext: &[u64]) -> f64 {
+        let red_inside: f64 = self.reduction_dims.iter().map(|&d| ext[d] as f64).product();
+        (1.0 - (1.0 - self.occupancy).powf(red_inside)).clamp(self.occupancy.min(1.0), 1.0)
+    }
+
+    /// Evaluates one mapping (the per-mapping hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structural [`MappingError`] for illegal mappings, or
+    /// [`MappingError::CapacityExceeded`] under [`CapacityMode::Strict`].
+    pub fn analyze(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
+        let problem = &self.problem;
+        let arch = &self.arch;
+        m.validate_structure(problem, arch)?;
+
+        let nl = arch.num_levels();
+        let tensors = problem.tensors();
+        let macs = self.macs;
+        let occupancy = self.occupancy;
+
+        // Capacity: spill factor per level.
+        let mut spill = vec![1.0f64; nl];
+        for (li, spill_li) in spill.iter_mut().enumerate().take(nl) {
+            if let Some(cap) = arch.level(li).capacity_words {
+                let ext = m.tile_extents(li);
+                let needed: f64 = tensors
+                    .iter()
+                    .zip(&self.cap_scale)
+                    .map(|(t, s)| t.projection.footprint_f64(&ext) * s)
+                    .sum();
+                if needed > cap as f64 {
+                    if self.capacity == CapacityMode::Strict {
+                        return Err(MappingError::CapacityExceeded {
+                            level: li,
+                            needed_words: needed,
+                            capacity_words: cap,
+                        });
+                    }
+                    *spill_li = needed / cap as f64;
+                }
+            }
+        }
+
+        let nest = m.nest();
+        let mut per_level = vec![LevelTraffic::default(); nl];
+
+        // Boundaries: (parent = i-1, child = i) for i in 1..=nl, where
+        // i == nl is the virtual per-ALU register level (unit tiles) that
+        // models MAC operand fetch and accumulator drain.
+        for i in 1..=nl {
+            let ext = if i < nl { m.tile_extents(i) } else { self.unit_tile.clone() };
+            // Spill at the child inflates its boundary with the parent.
+            let sp = if i < nl { spill[i] } else { 1.0 };
+            for (ti, (t, &sc)) in tensors.iter().zip(&self.scale).enumerate() {
+                let f = t.projection.footprint_f64(&ext);
+                let mask = self.relevance[ti];
+                let mult = multiplicities(&nest, i, |d| mask & (1 << d) != 0);
+                let sc = if t.kind == TensorKind::Output {
+                    // Per-level partial-output density (per-MAC updates at
+                    // the register boundary, fully reduced tiles further
+                    // out).
+                    self.compress(self.out_density_at(&ext))
+                } else if i == nl && self.caps.skipping {
+                    // At the MAC boundary, skipping hardware only fetches
+                    // operands for surviving (all-nonzero) MACs, regardless
+                    // of which operand carries the zeros.
+                    occupancy.min(sc)
+                } else {
+                    sc
+                };
+                match t.kind {
+                    TensorKind::Input | TensorKind::Weight => {
+                        per_level[i - 1].reads += mult.read * f * sc * sp;
+                        if i < nl {
+                            per_level[i].writes += mult.write * f * sc * sp;
+                        }
+                    }
+                    TensorKind::Output => {
+                        // Drains: every recycle of the child tile writes its
+                        // contents up (spatial reduction collapses
+                        // multicast).
+                        let drains = mult.read * f * sc * sp;
+                        per_level[i - 1].writes += drains;
+                        if i < nl {
+                            per_level[i].reads += drains;
+                        }
+                        // Accumulation refills: revisited tiles re-read
+                        // their partials from the parent (first pass
+                        // initializes).
+                        let refills = (mult.read - mult.distinct).max(0.0) * f * sc * sp;
+                        per_level[i - 1].reads += refills;
+                        if i < nl {
+                            per_level[i].writes += refills;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Datapath: skipping removes zero cycles; gating removes zero
+        // energy.
+        let caps = &self.caps;
+        let cycle_macs = if caps.skipping { macs * occupancy } else { macs };
+        let energy_macs = if caps.skipping || caps.gating { macs * occupancy } else { macs };
+
+        // Sparse dataflow-style overhead (§4.5.3); zero for dense caps.
+        let style = crate::style::classify_masked(self.reduction_mask, m);
+        let style_work = match style {
+            ProductStyle::Inner => {
+                caps.intersection_cost * macs * self.density.weight.max(self.density.input)
+            }
+            ProductStyle::Outer => (caps.merge_overhead - 1.0).max(0.0) * macs * occupancy,
+        };
+
+        let lanes = m.used_lanes() as f64;
+        let compute_cycles = (cycle_macs + style_work) / lanes;
+
+        let innermost_energy = arch.level(nl - 1).energy_per_access;
+        let mut energy_pj = style_work * innermost_energy + energy_macs * arch.mac_energy;
+        for (li, t) in per_level.iter().enumerate() {
+            energy_pj += t.total() * arch.level(li).energy_per_access;
+        }
+
+        let mut bw_cycles = Vec::with_capacity(nl);
+        let mut active = 1.0f64;
+        for (li, t) in per_level.iter().enumerate() {
+            bw_cycles.push(t.total() / (arch.level(li).bandwidth * active));
+            active *= m.levels()[li].spatial_product() as f64;
+        }
+
+        let latency = compute_cycles.max(bw_cycles.iter().copied().fold(0.0, f64::max)).max(1.0);
+        let cost = Cost::new(latency, energy_pj * 1e-6);
+
+        Ok(Breakdown {
+            per_level,
+            macs,
+            cycle_macs,
+            energy_macs,
+            style_work,
+            style,
+            lanes,
+            compute_cycles,
+            bw_cycles,
+            spill,
+            cost,
         })
-        .collect();
-
-    // Capacity: spill factor per level.
-    let mut spill = vec![1.0f64; nl];
-    for (li, spill_li) in spill.iter_mut().enumerate().take(nl) {
-        if let Some(cap) = arch.level(li).capacity_words {
-            let ext = m.tile_extents(li);
-            let needed: f64 = tensors
-                .iter()
-                .zip(&scale)
-                .map(|(t, s)| {
-                    // Capacity must be provisioned for the *worst case* of
-                    // any density that is dynamic at runtime: activations
-                    // (and therefore partial outputs) vary per input, so
-                    // their tiles are allocated at dense size. Weight
-                    // sparsity is static (fixed when the model is pruned),
-                    // so weight tiles may be provisioned compressed.
-                    let s = match t.kind {
-                        TensorKind::Weight => *s,
-                        TensorKind::Input | TensorKind::Output => 1.0,
-                    };
-                    t.projection.footprint_f64(&ext) * s
-                })
-                .sum();
-            if needed > cap as f64 {
-                if capacity == CapacityMode::Strict {
-                    return Err(MappingError::CapacityExceeded {
-                        level: li,
-                        needed_words: needed,
-                        capacity_words: cap,
-                    });
-                }
-                *spill_li = needed / cap as f64;
-            }
-        }
     }
-
-    let nest = m.nest();
-    let mut per_level = vec![LevelTraffic::default(); nl];
-    let unit_tile = vec![1u64; problem.num_dims()];
-
-    // Boundaries: (parent = i-1, child = i) for i in 1..=nl, where i == nl
-    // is the virtual per-ALU register level (unit tiles) that models MAC
-    // operand fetch and accumulator drain.
-    for i in 1..=nl {
-        let ext = if i < nl { m.tile_extents(i) } else { unit_tile.clone() };
-        // Spill at the child inflates its boundary with the parent.
-        let sp = if i < nl { spill[i] } else { 1.0 };
-        for (t, &sc) in tensors.iter().zip(&scale) {
-            let f = t.projection.footprint_f64(&ext);
-            let mult = multiplicities(&nest, i, |d| t.projection.depends_on(d));
-            let sc = if t.kind == TensorKind::Output {
-                // Per-level partial-output density (per-MAC updates at the
-                // register boundary, fully reduced tiles further out).
-                compress(out_density_at(&ext))
-            } else if i == nl && caps.skipping {
-                // At the MAC boundary, skipping hardware only fetches
-                // operands for surviving (all-nonzero) MACs, regardless of
-                // which operand carries the zeros.
-                occupancy.min(sc)
-            } else {
-                sc
-            };
-            match t.kind {
-                TensorKind::Input | TensorKind::Weight => {
-                    per_level[i - 1].reads += mult.read * f * sc * sp;
-                    if i < nl {
-                        per_level[i].writes += mult.write * f * sc * sp;
-                    }
-                }
-                TensorKind::Output => {
-                    // Drains: every recycle of the child tile writes its
-                    // contents up (spatial reduction collapses multicast).
-                    let drains = mult.read * f * sc * sp;
-                    per_level[i - 1].writes += drains;
-                    if i < nl {
-                        per_level[i].reads += drains;
-                    }
-                    // Accumulation refills: revisited tiles re-read their
-                    // partials from the parent (first pass initializes).
-                    let refills = (mult.read - mult.distinct).max(0.0) * f * sc * sp;
-                    per_level[i - 1].reads += refills;
-                    if i < nl {
-                        per_level[i].writes += refills;
-                    }
-                }
-            }
-        }
-    }
-
-    // Datapath: skipping removes zero cycles; gating removes zero energy.
-    let cycle_macs = if caps.skipping { macs * occupancy } else { macs };
-    let energy_macs = if caps.skipping || caps.gating { macs * occupancy } else { macs };
-
-    // Sparse dataflow-style overhead (§4.5.3); zero for dense caps.
-    let style = classify(problem, m);
-    let style_work = match style {
-        ProductStyle::Inner => {
-            caps.intersection_cost * macs * density.weight.max(density.input)
-        }
-        ProductStyle::Outer => (caps.merge_overhead - 1.0).max(0.0) * macs * occupancy,
-    };
-
-    let lanes = m.used_lanes() as f64;
-    let compute_cycles = (cycle_macs + style_work) / lanes;
-
-    let innermost_energy = arch.level(nl - 1).energy_per_access;
-    let mut energy_pj = style_work * innermost_energy + energy_macs * arch.mac_energy;
-    for (li, t) in per_level.iter().enumerate() {
-        energy_pj += t.total() * arch.level(li).energy_per_access;
-    }
-
-    let mut bw_cycles = Vec::with_capacity(nl);
-    let mut active = 1.0f64;
-    for (li, t) in per_level.iter().enumerate() {
-        bw_cycles.push(t.total() / (arch.level(li).bandwidth * active));
-        active *= m.levels()[li].spatial_product() as f64;
-    }
-
-    let latency = compute_cycles.max(bw_cycles.iter().copied().fold(0.0, f64::max)).max(1.0);
-    let cost = Cost::new(latency, energy_pj * 1e-6);
-
-    Ok(Breakdown {
-        per_level,
-        macs,
-        cycle_macs,
-        energy_macs,
-        style_work,
-        style,
-        lanes,
-        compute_cycles,
-        bw_cycles,
-        spill,
-        cost,
-    })
 }
 
 #[cfg(test)]
@@ -544,6 +673,36 @@ mod tests {
         let bw_max = b.bw_cycles.iter().copied().fold(0.0, f64::max);
         assert_eq!(b.compute_bound(), b.compute_cycles >= bw_max);
         assert!((b.cost.latency_cycles - b.compute_cycles.max(bw_max)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_matches_oneshot_analyze_dense_and_sparse() {
+        // The precomputed-context path must be bit-identical to the
+        // one-shot path across capability/density corners, including the
+        // spill (soft capacity) and skipping branches.
+        let (p, a) = small_setup();
+        let s = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(21);
+        let configs = [
+            (Density::DENSE, SparseCaps::none(), CapacityMode::Strict),
+            (Density::weight_sparse(0.3), SparseCaps::flexible(), CapacityMode::Soft),
+            (Density::weight_sparse(0.05), SparseCaps::gating_only(), CapacityMode::Soft),
+        ];
+        for (density, caps, capacity) in configs {
+            let ctx = AnalysisContext::new(&p, &a, density, &caps, capacity);
+            assert_eq!(ctx.problem(), &p);
+            assert_eq!(ctx.density(), density);
+            for _ in 0..50 {
+                let m = s.random(&mut rng);
+                let oneshot = analyze(&p, &a, &m, density, &caps, capacity);
+                let ctxed = ctx.analyze(&m);
+                match (oneshot, ctxed) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y),
+                    (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+                    (x, y) => panic!("paths disagree: {x:?} vs {y:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The [`CostModel`] trait and the dense/sparse engines mappers evaluate
 //! against (the "Evaluation Method" box of the paper's Fig. 2).
 
-use crate::analysis::{analyze, Breakdown, CapacityMode};
+use crate::analysis::{AnalysisContext, Breakdown, CapacityMode};
 use crate::cost::Cost;
 use arch::{Arch, SparseCaps};
 use mapping::{Mapping, MappingError};
@@ -59,26 +59,35 @@ impl<M: CostModel + ?Sized> CostModel for Box<M> {
 
 /// Timeloop-like dense analytical model: strict capacity legality, no
 /// sparsity effects.
+///
+/// Construction precomputes an [`AnalysisContext`] so the per-mapping
+/// evaluation path carries no per-`(problem, arch)` rederivation.
 #[derive(Debug, Clone)]
 pub struct DenseModel {
-    problem: Problem,
-    arch: Arch,
+    ctx: AnalysisContext,
 }
 
 impl DenseModel {
     /// Binds the model to a workload and accelerator.
     pub fn new(problem: Problem, arch: Arch) -> Self {
-        DenseModel { problem, arch }
+        let ctx = AnalysisContext::new(
+            &problem,
+            &arch,
+            Density::DENSE,
+            &SparseCaps::none(),
+            CapacityMode::Strict,
+        );
+        DenseModel { ctx }
     }
 }
 
 impl CostModel for DenseModel {
     fn problem(&self) -> &Problem {
-        &self.problem
+        self.ctx.problem()
     }
 
     fn arch(&self) -> &Arch {
-        &self.arch
+        self.ctx.arch()
     }
 
     fn evaluate(&self, m: &Mapping) -> Result<Cost, MappingError> {
@@ -86,14 +95,7 @@ impl CostModel for DenseModel {
     }
 
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
-        analyze(
-            &self.problem,
-            &self.arch,
-            m,
-            Density::DENSE,
-            &SparseCaps::none(),
-            CapacityMode::Strict,
-        )
+        self.ctx.analyze(m)
     }
 }
 
@@ -103,44 +105,43 @@ impl CostModel for DenseModel {
 /// illegal — required for Table 2's cross-density testing).
 #[derive(Debug, Clone)]
 pub struct SparseModel {
-    problem: Problem,
-    arch: Arch,
-    caps: SparseCaps,
-    density: Density,
+    ctx: AnalysisContext,
 }
 
 impl SparseModel {
     /// Binds the model to a workload, accelerator, sparse capabilities, and
     /// workload density profile.
     pub fn new(problem: Problem, arch: Arch, caps: SparseCaps, density: Density) -> Self {
-        SparseModel { problem, arch, caps, density }
+        let ctx = AnalysisContext::new(&problem, &arch, density, &caps, CapacityMode::Soft);
+        SparseModel { ctx }
     }
 
     /// The density profile this model evaluates at.
     pub fn density(&self) -> Density {
-        self.density
+        self.ctx.density()
     }
 
     /// Same model, different density — used to cross-test a fixed mapping
     /// under densities it was not tuned for (Table 2) and by the
-    /// sparsity-aware objective's density sweep (Table 4).
+    /// sparsity-aware objective's density sweep (Table 4). The context is
+    /// rebuilt: occupancy and compression scales are density-derived.
     pub fn with_density(&self, density: Density) -> Self {
-        SparseModel { density, ..self.clone() }
+        SparseModel::new(self.ctx.problem().clone(), self.ctx.arch().clone(), *self.ctx.caps(), density)
     }
 
     /// The sparse capability description.
     pub fn caps(&self) -> &SparseCaps {
-        &self.caps
+        self.ctx.caps()
     }
 }
 
 impl CostModel for SparseModel {
     fn problem(&self) -> &Problem {
-        &self.problem
+        self.ctx.problem()
     }
 
     fn arch(&self) -> &Arch {
-        &self.arch
+        self.ctx.arch()
     }
 
     fn evaluate(&self, m: &Mapping) -> Result<Cost, MappingError> {
@@ -148,7 +149,7 @@ impl CostModel for SparseModel {
     }
 
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
-        analyze(&self.problem, &self.arch, m, self.density, &self.caps, CapacityMode::Soft)
+        self.ctx.analyze(m)
     }
 }
 

@@ -133,6 +133,12 @@ impl<M: CostModel> FaultyModel<M> {
     /// The seeded, per-mapping fault decision. FNV-1a over the mapping's
     /// level decisions and the config seed, finished with a splitmix64-style
     /// avalanche so structurally similar mappings don't fault in lockstep.
+    ///
+    /// Unit-bound temporal loops are skipped from the order hash: they
+    /// never iterate, so the engine's cost is invariant to their position
+    /// and the fault decision must be too — otherwise two mappings that
+    /// are semantically identical (and share an evaluation-cache entry)
+    /// could fault differently, which no deterministic model can do.
     fn decide(&self, m: &Mapping) -> Fault {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.config.seed;
         let mut mix = |v: u64| {
@@ -140,7 +146,7 @@ impl<M: CostModel> FaultyModel<M> {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         };
         for level in m.levels() {
-            for &d in &level.order {
+            for &d in level.order.iter().filter(|&&d| level.temporal[d] > 1) {
                 mix(d as u64);
             }
             for &t in &level.temporal {

@@ -31,7 +31,7 @@ pub mod fault;
 pub mod guard;
 pub mod style;
 
-pub use analysis::{analyze, Breakdown, CapacityMode, LevelTraffic};
+pub use analysis::{analyze, AnalysisContext, Breakdown, CapacityMode, LevelTraffic};
 pub use cost::Cost;
 pub use engine::{CostModel, DenseModel, SparseModel};
 pub use fault::{FaultConfig, FaultyModel, InjectedFault};

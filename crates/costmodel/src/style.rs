@@ -26,14 +26,23 @@ pub enum ProductStyle {
 /// outer-product style. Mappings with no non-unit reduction loops default to
 /// [`ProductStyle::Inner`] (there is nothing to merge).
 pub fn classify(problem: &Problem, m: &Mapping) -> ProductStyle {
-    let reduction = problem.reduction_dims();
-    let is_red = |d: usize| reduction.contains(&d);
+    let mut mask = 0u64;
+    for d in problem.reduction_dims() {
+        mask |= 1 << d;
+    }
+    classify_masked(mask, m)
+}
+
+/// [`classify`] against a precomputed reduction-dimension bitmask (bit `d`
+/// set ⇔ dim `d` is a reduction dim) — the per-mapping hot path used by
+/// `AnalysisContext`, which hoists the mask out of the evaluation loop.
+pub(crate) fn classify_masked(reduction_mask: u64, m: &Mapping) -> ProductStyle {
     let mut saw_output_loop = false;
     for l in m.nest().iter().rev() {
         if l.spatial || l.bound <= 1 {
             continue;
         }
-        if is_red(l.dim) {
+        if reduction_mask & (1 << l.dim) != 0 {
             return if saw_output_loop { ProductStyle::Outer } else { ProductStyle::Inner };
         }
         saw_output_loop = true;

@@ -70,24 +70,30 @@ impl Mapper for CrossEntropy {
         let elite_count = ((self.batch as f64 * self.elite_frac) as usize).max(2);
 
         while !rec.done() {
-            let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(self.batch);
+            // Sampling and projection touch only the rng; evaluation is
+            // deferred to one batch call. Only successful projections
+            // consume samples, so the budget check counts the pending
+            // batch — reproducing the serial per-draw `rec.done()` gate.
+            let mut pending: Vec<Mapping> = Vec::with_capacity(self.batch);
             for _ in 0..self.batch {
-                if rec.done() {
+                if rec.would_be_done(pending.len()) {
                     break;
                 }
                 let x: Vec<f64> = (0..n)
                     .map(|i| mean[i] + std[i] * gaussian(rng))
                     .collect();
-                let Some(m): Option<Mapping> =
-                    mapping_from_features(problem, space.arch(), &x)
-                else {
-                    continue;
-                };
-                let score = rec.evaluate(&m).unwrap_or(f64::INFINITY);
-                // Refit on the *projected* (legal) point: the distribution
-                // then tracks the feasible manifold.
-                scored.push((features(&m), score));
+                if let Some(m) = mapping_from_features(problem, space.arch(), &x) {
+                    pending.push(m);
+                }
             }
+            let scores = rec.evaluate_batch(&pending);
+            // Refit on the *projected* (legal) points: the distribution
+            // then tracks the feasible manifold.
+            let mut scored: Vec<(Vec<f64>, f64)> = pending
+                .iter()
+                .zip(scores)
+                .map(|(m, s)| (features(m), s.unwrap_or(f64::INFINITY)))
+                .collect();
             if scored.len() < elite_count {
                 continue;
             }

@@ -107,6 +107,11 @@ impl Mapper for Exhaustive {
             OrderEnumeration::All => factorial(d),
         };
 
+        // Candidates are buffered and evaluated through
+        // `Evaluator::evaluate_batch` so the enumeration benefits from a
+        // pooled evaluator; the budget gate counts the pending buffer, so
+        // the evaluated candidate set matches the serial walk exactly.
+        let mut buf: Vec<Mapping> = Vec::with_capacity(64);
         // Odometer over per-dimension choices.
         let mut idx = vec![0usize; d];
         let mut emitted = 0usize;
@@ -126,7 +131,7 @@ impl Mapper for Exhaustive {
             }
             if fanout_ok {
                 for oi in 0..order_count {
-                    if rec.done() || emitted >= self.max_candidates {
+                    if rec.would_be_done(buf.len()) || emitted >= self.max_candidates {
                         break 'outer;
                     }
                     let order = match self.orders {
@@ -139,8 +144,12 @@ impl Mapper for Exhaustive {
                     }
                     let m = Mapping::new(lv);
                     if m.validate(p, arch).is_ok() {
-                        rec.evaluate(&m);
+                        buf.push(m);
                         emitted += 1;
+                        if buf.len() >= 64 {
+                            rec.evaluate_batch(&buf);
+                            buf.clear();
+                        }
                     }
                 }
             }
@@ -157,9 +166,12 @@ impl Mapper for Exhaustive {
                     break 'outer;
                 }
             }
-            if rec.done() || emitted >= self.max_candidates {
+            if rec.would_be_done(buf.len()) || emitted >= self.max_candidates {
                 break;
             }
+        }
+        if !buf.is_empty() {
+            rec.evaluate_batch(&buf);
         }
         rec.finish()
     }

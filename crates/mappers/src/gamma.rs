@@ -38,7 +38,11 @@ pub struct GammaConfig {
     pub enable_crossover: bool,
     /// Probability each enabled mutation applies to a child.
     pub mutation_rate: f64,
-    /// Evaluate each generation's children on worker threads.
+    /// Deprecated: evaluation concurrency now comes from the evaluator
+    /// stack (`Evaluator::evaluate_batch` backed by `mse::eval`'s worker
+    /// pool), not from the mapper. The flag is kept for configuration
+    /// compatibility and has no effect — results are bit-identical either
+    /// way by construction.
     pub parallel_eval: bool,
     /// Elite-selection strategy: scalar score (default) or NSGA-II
     /// multi-objective ranking on (latency, energy) — the paper's
@@ -199,28 +203,13 @@ impl Gamma {
         evaluator: &dyn Evaluator,
         rec: &mut Recorder<'_>,
     ) -> Vec<Indiv> {
-        let outcomes: Vec<_> = if self.config.parallel_eval && batch.len() >= 8 {
-            let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-            let chunk = batch.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = batch
-                    .chunks(chunk)
-                    .map(|c| s.spawn(move || c.iter().map(|m| evaluator.evaluate(m)).collect::<Vec<_>>()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| {
-                        // Re-raise a worker panic with its original payload
-                        // so the resilient runtime (mse::runtime) can still
-                        // classify it — e.g. a fault-injected evaluator
-                        // panic keeps its sentinel type across the join.
-                        h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                    })
-                    .collect()
-            })
-        } else {
-            batch.iter().map(|m| evaluator.evaluate(m)).collect()
-        };
+        // Concurrency (and panic propagation with original payloads) lives
+        // in the evaluator stack now: `Evaluator::evaluate_batch` is serial
+        // by default and dispatches to the shared worker pool when the run
+        // is configured with one (`mse::eval`). Outcomes always come back
+        // in submission order, so the recording below is identical no
+        // matter how many threads evaluated the batch.
+        let outcomes: Vec<_> = evaluator.evaluate_batch(batch);
         batch
             .iter()
             .zip(outcomes)

@@ -49,7 +49,9 @@ pub use cem::CrossEntropy;
 pub use exhaustive::{Exhaustive, OrderEnumeration};
 pub use gamma::{Gamma, GammaConfig};
 pub use hill_climb::HillClimb;
-pub use mapper::{Budget, ConvergencePoint, EdpEvaluator, Evaluator, Mapper, Recorder, SearchResult};
+pub use mapper::{
+    Budget, CacheStats, ConvergencePoint, EdpEvaluator, Evaluator, Mapper, Recorder, SearchResult,
+};
 pub use nsga::Selection;
 pub use outcome::{score_cmp, AttemptRecord, RunError, RunOutcome, RunStatus};
 pub use random::{canonicalize, RandomMapper, RandomPruned};

@@ -57,6 +57,35 @@ pub struct ConvergencePoint {
     pub best_score: f64,
 }
 
+/// Evaluation-cache counters for one run (zero when no cache was active).
+///
+/// Surfaced on [`SearchResult`] so callers can verify that memoized hits
+/// actually happened (and how often) without instrumenting the evaluator
+/// stack themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a full evaluation.
+    pub misses: u64,
+    /// Entries written into the cache.
+    pub inserts: u64,
+    /// Entries dropped to stay within the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (zero when the cache saw no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Result of one mapper run.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
@@ -69,12 +98,15 @@ pub struct SearchResult {
     pub history: Vec<ConvergencePoint>,
     /// All evaluated samples (legal ones), if recording was enabled.
     pub samples: Vec<(Vec<f64>, f64)>,
-    /// The (latency, energy) Pareto frontier over every evaluated point.
+    /// The (latency, energy) Pareto frontier over every evaluated point,
+    /// sorted by ascending latency.
     pub pareto: Vec<(Mapping, Cost)>,
     /// Total cost-model evaluations.
     pub evaluated: usize,
     /// Total wall-clock time.
     pub elapsed: Duration,
+    /// Evaluation-cache counters (all zero when no cache was active).
+    pub cache: CacheStats,
 }
 
 /// What a mapper minimizes. Implementations wrap one or more cost models;
@@ -84,6 +116,15 @@ pub trait Evaluator: Sync {
     /// Scores a mapping (lower is better), together with its cost at the
     /// reference density for reporting.
     fn evaluate(&self, m: &Mapping) -> Option<(Cost, f64)>;
+
+    /// Scores a batch of mappings, returning one outcome per input in the
+    /// same order. The default implementation evaluates serially; decorated
+    /// evaluators (worker pools, caches, watchdogs) override it to dispatch
+    /// work concurrently while preserving submission order, which is what
+    /// keeps parallel runs bit-identical to serial ones.
+    fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
+        batch.iter().map(|m| self.evaluate(m)).collect()
+    }
 }
 
 /// EDP objective over one cost model — the paper's default criterion.
@@ -148,12 +189,37 @@ impl<'a> Recorder<'a> {
         self.budget.exhausted(self.evaluated, self.start)
     }
 
+    /// Whether the budget would be spent after `pending` more evaluations.
+    /// Lets batching mappers size a batch to the remaining budget so a
+    /// batched run consumes exactly the same samples as a serial one.
+    pub fn would_be_done(&self, pending: usize) -> bool {
+        self.budget.exhausted(self.evaluated + pending, self.start)
+    }
+
+    /// How many more evaluations fit in the sample budget, capped at
+    /// `want`. Always at least 1 when `want >= 1` so forward progress is
+    /// guaranteed even when the time budget is the binding constraint.
+    pub fn batch_room(&self, want: usize) -> usize {
+        let room = match self.budget.max_samples {
+            Some(n) => n.saturating_sub(self.evaluated).min(want),
+            None => want,
+        };
+        room.max(1).min(want.max(1))
+    }
+
     /// Evaluates one mapping, updating all bookkeeping. Returns the score
     /// (`None` for illegal mappings — which still consume a sample, as in
     /// Timeloop-mapper).
     pub fn evaluate(&mut self, m: &Mapping) -> Option<f64> {
         let out = self.evaluator.evaluate(m);
         self.record_outcome(m, out)
+    }
+
+    /// Evaluates a batch through [`Evaluator::evaluate_batch`] and records
+    /// every outcome in submission order. Returns one score per input.
+    pub fn evaluate_batch(&mut self, batch: &[Mapping]) -> Vec<Option<f64>> {
+        let outs = self.evaluator.evaluate_batch(batch);
+        batch.iter().zip(outs).map(|(m, out)| self.record_outcome(m, out)).collect()
     }
 
     /// Records a pre-computed evaluation outcome (used by mappers that
@@ -184,12 +250,48 @@ impl<'a> Recorder<'a> {
                 best_score: score,
             });
         }
-        // Pareto archive on (latency, energy).
-        if !self.pareto.iter().any(|(_, c)| c.dominates(&cost)) {
-            self.pareto.retain(|(_, c)| !cost.dominates(c));
-            self.pareto.push((m.clone(), cost));
-        }
+        self.pareto_insert(m, cost);
         Some(score)
+    }
+
+    /// Pareto archive on (latency, energy), kept sorted by ascending
+    /// latency. In a mutually non-dominated set, points at strictly larger
+    /// latency have strictly smaller energy (and equal-latency points have
+    /// equal energy), so both the dominance check and the removal of newly
+    /// dominated points reduce to a binary search plus a scan of the
+    /// contiguous affected neighborhood — O(log n + k) per insertion
+    /// instead of the old full-archive `iter().any` + `retain` pass.
+    fn pareto_insert(&mut self, m: &Mapping, cost: Cost) {
+        let lat = cost.latency_cycles;
+        let e = cost.energy_uj;
+        // The strongest potential dominator is the last point with
+        // latency <= lat: energy is non-increasing along the archive, so
+        // it has the smallest energy among all points at latency <= lat.
+        let after = self.pareto.partition_point(|(_, c)| c.latency_cycles <= lat);
+        if after > 0 && self.pareto[after - 1].1.dominates(&cost) {
+            return;
+        }
+        // Points dominated by `cost` have latency >= lat AND energy >= e:
+        // a contiguous run starting at the first point with latency >= lat.
+        // Exact duplicates of `cost` (which the archive keeps, matching the
+        // historical semantics where equal points do not dominate each
+        // other) can only sit at the head of that run.
+        let start = self.pareto.partition_point(|(_, c)| c.latency_cycles < lat);
+        let mut keep = start;
+        while keep < self.pareto.len() {
+            let c = &self.pareto[keep].1;
+            if c.latency_cycles == lat && c.energy_uj == e {
+                keep += 1;
+            } else {
+                break;
+            }
+        }
+        let mut end = keep;
+        while end < self.pareto.len() && self.pareto[end].1.energy_uj >= e {
+            end += 1;
+        }
+        self.pareto.drain(keep..end);
+        self.pareto.insert(keep, (m.clone(), cost));
     }
 
     /// Current best score (infinite when nothing legal evaluated yet).
@@ -218,6 +320,7 @@ impl<'a> Recorder<'a> {
             pareto: self.pareto,
             evaluated: self.evaluated,
             elapsed,
+            cache: CacheStats::default(),
         }
     }
 }
@@ -299,6 +402,94 @@ mod tests {
         let frontier_best =
             r.pareto.iter().map(|(_, c)| c.edp()).fold(f64::INFINITY, f64::min);
         assert!((frontier_best - best_edp).abs() / best_edp < 1e-12);
+    }
+
+    /// Feeds a 10k-point adversarial stream (scattered frontier builds,
+    /// overlapping grids with heavy ties and exact duplicates, then a
+    /// strictly improving diagonal that repeatedly sweeps the archive) and
+    /// checks the sorted archive against the brute-force reference
+    /// semantics the O(n²) implementation used.
+    #[test]
+    fn pareto_archive_matches_bruteforce_on_adversarial_stream() {
+        struct Null;
+        impl Evaluator for Null {
+            fn evaluate(&self, _m: &Mapping) -> Option<(Cost, f64)> {
+                None
+            }
+        }
+        let (space, _) = setup();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let m = space.random(&mut rng);
+        let eval = Null;
+        let mut rec = Recorder::new(&eval, Budget::samples(1_000_000));
+        let mut reference: Vec<Cost> = Vec::new();
+        let feed = |rec: &mut Recorder, reference: &mut Vec<Cost>, lat: f64, e: f64| {
+            let c = Cost::new(lat, e);
+            rec.record_outcome(&m, Some((c, c.edp())));
+            if !reference.iter().any(|a| a.dominates(&c)) {
+                reference.retain(|a| !c.dominates(a));
+                reference.push(c);
+            }
+        };
+        // Phase 1: a 2500-point mutually non-dominated frontier fed in a
+        // scattered order, forcing insertions throughout the archive.
+        for i in 0..2500usize {
+            let j = ((i * 7919) % 2500) as f64;
+            feed(&mut rec, &mut reference, 10.0 + j, 2510.0 - j);
+        }
+        // Phase 2: a coarse overlapping grid with ties and duplicates.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5000 {
+            let lat = (next() % 64) as f64 * 40.0 + 5.0;
+            let e = (next() % 64) as f64 * 40.0 + 5.0;
+            feed(&mut rec, &mut reference, lat, e);
+        }
+        // Phase 3: a strictly improving diagonal; each point dominates the
+        // previous one, repeatedly draining archive neighborhoods.
+        for i in 0..2500usize {
+            let v = (2500 - i) as f64;
+            feed(&mut rec, &mut reference, v, v);
+        }
+        let r = rec.finish();
+        assert_eq!(r.evaluated, 10_000);
+        assert!(r
+            .pareto
+            .windows(2)
+            .all(|w| w[0].1.latency_cycles <= w[1].1.latency_cycles));
+        let mut got: Vec<(f64, f64)> =
+            r.pareto.iter().map(|(_, c)| (c.latency_cycles, c.energy_uj)).collect();
+        let mut want: Vec<(f64, f64)> =
+            reference.iter().map(|c| (c.latency_cycles, c.energy_uj)).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial_bookkeeping() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let batch: Vec<Mapping> = (0..40).map(|_| space.random(&mut rng)).collect();
+        let mut serial = Recorder::new(&eval, Budget::samples(40));
+        for m in &batch {
+            serial.evaluate(m);
+        }
+        let mut batched = Recorder::new(&eval, Budget::samples(40));
+        batched.evaluate_batch(&batch);
+        let (s, b) = (serial.finish(), batched.finish());
+        assert_eq!(s.evaluated, b.evaluated);
+        assert_eq!(s.best_score.to_bits(), b.best_score.to_bits());
+        assert_eq!(s.pareto.len(), b.pareto.len());
+        for (x, y) in s.pareto.iter().zip(&b.pareto) {
+            assert_eq!(x.1, y.1);
+        }
     }
 
     #[test]

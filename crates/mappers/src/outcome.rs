@@ -178,6 +178,7 @@ mod tests {
             pareto: Vec::new(),
             evaluated: 0,
             elapsed: Duration::ZERO,
+            cache: crate::mapper::CacheStats::default(),
         }
     }
 

@@ -6,6 +6,12 @@ use mapping::{MapSpace, Mapping};
 use rand::rngs::SmallRng;
 use std::collections::HashSet;
 
+/// How many candidates the random samplers draw before handing them to the
+/// evaluator in one [`Evaluator::evaluate_batch`] call. Candidates are drawn
+/// *before* any evaluation, so the rng stream — and therefore the sampled
+/// sequence — is identical to the historical draw-evaluate-draw loop.
+const EVAL_CHUNK: usize = 64;
+
 /// Uniform random sampling of legal mappings — the unpruned baseline.
 #[derive(Debug, Clone, Default)]
 pub struct RandomMapper {
@@ -39,8 +45,12 @@ impl Mapper for RandomMapper {
     ) -> SearchResult {
         let mut rec = Recorder::new(evaluator, budget);
         rec.record_samples(self.record_samples);
+        let mut batch: Vec<Mapping> = Vec::with_capacity(EVAL_CHUNK);
         while !rec.done() {
-            rec.evaluate(&space.random(rng));
+            let n = rec.batch_room(EVAL_CHUNK);
+            batch.clear();
+            batch.extend((0..n).map(|_| space.random(rng)));
+            rec.evaluate_batch(&batch);
         }
         rec.finish()
     }
@@ -109,15 +119,24 @@ impl Mapper for RandomPruned {
         let mut rec = Recorder::new(evaluator, budget);
         rec.record_samples(self.record_samples);
         let mut seen: HashSet<Mapping> = HashSet::new();
+        let mut batch: Vec<Mapping> = Vec::with_capacity(EVAL_CHUNK);
         while !rec.done() {
-            let mut candidate = canonicalize(&space.random(rng));
-            for _ in 0..self.redraws {
-                if seen.insert(candidate.clone()) {
-                    break;
+            let n = rec.batch_room(EVAL_CHUNK);
+            batch.clear();
+            // Drawing (including redraws against `seen`) touches only the
+            // rng and the visited set, never the evaluator, so batching
+            // preserves the exact candidate sequence of the serial loop.
+            for _ in 0..n {
+                let mut candidate = canonicalize(&space.random(rng));
+                for _ in 0..self.redraws {
+                    if seen.insert(candidate.clone()) {
+                        break;
+                    }
+                    candidate = canonicalize(&space.random(rng));
                 }
-                candidate = canonicalize(&space.random(rng));
+                batch.push(candidate);
             }
-            rec.evaluate(&candidate);
+            rec.evaluate_batch(&batch);
         }
         rec.finish()
     }

@@ -68,21 +68,32 @@ impl Mapper for Reinforce {
         let mut baseline: Option<f64> = None;
 
         while !rec.done() {
-            // Sample a batch of actions and their rewards.
-            let mut actions: Vec<(Vec<f64>, f64)> = Vec::with_capacity(self.batch);
+            // Sample a batch of actions; evaluation is deferred to one
+            // batch call. Every successful projection consumes a sample
+            // (legal or not), so the budget gate counts the pending batch —
+            // reproducing the serial per-draw `rec.done()` check.
+            let mut pending: Vec<(Vec<f64>, mapping::Mapping)> =
+                Vec::with_capacity(self.batch);
             for _ in 0..self.batch {
-                if rec.done() {
+                if rec.would_be_done(pending.len()) {
                     break;
                 }
                 let x: Vec<f64> =
                     (0..n).map(|i| mean[i] + log_std[i].exp() * gaussian(rng)).collect();
-                let Some(m) = mapping_from_features(problem, space.arch(), &x) else {
-                    continue;
-                };
-                let Some(score) = rec.evaluate(&m) else { continue };
-                // Reward: negative log score (scores span decades).
-                actions.push((x, -score.max(1e-30).ln()));
+                if let Some(m) = mapping_from_features(problem, space.arch(), &x) {
+                    pending.push((x, m));
+                }
             }
+            let batch: Vec<mapping::Mapping> =
+                pending.iter().map(|(_, m)| m.clone()).collect();
+            let scores = rec.evaluate_batch(&batch);
+            // Reward: negative log score (scores span decades). Illegal
+            // mappings earn no action but still consumed their sample.
+            let actions: Vec<(Vec<f64>, f64)> = pending
+                .into_iter()
+                .zip(scores)
+                .filter_map(|((x, _), s)| s.map(|score| (x, -score.max(1e-30).ln())))
+                .collect();
             if actions.len() < 2 {
                 continue;
             }

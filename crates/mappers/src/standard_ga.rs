@@ -175,47 +175,70 @@ impl Mapper for StandardGa {
         let elite_count =
             ((pop_size as f64 * self.elite_frac) as usize).clamp(2, pop_size - 1);
 
-        let score_genome = |g: &Genome, rec: &mut Recorder<'_>| -> f64 {
-            match g.decode(space, &divs) {
-                Some(m) => rec.evaluate(&m).unwrap_or(f64::INFINITY),
-                None => {
-                    // Illegal decode still consumes a sample: the naive GA
-                    // pays for its constraint-blindness.
-                    rec.record_outcome(&Mapping::trivial(problem, space.arch()), None);
-                    f64::INFINITY
-                }
-            }
+        let trivial = Mapping::trivial(problem, space.arch());
+        // Scores one generation of genomes through a single
+        // `Evaluator::evaluate_batch` call, recording every outcome in
+        // generation order: legal decodes get their batched result, illegal
+        // decodes still consume a sample (the naive GA pays for its
+        // constraint-blindness) exactly where the serial loop charged them.
+        let score_batch = |genomes: Vec<Genome>, rec: &mut Recorder<'_>| -> Vec<(Genome, f64)> {
+            let decoded: Vec<Option<Mapping>> =
+                genomes.iter().map(|g| g.decode(space, &divs)).collect();
+            let legal: Vec<Mapping> = decoded.iter().flatten().cloned().collect();
+            let outs = evaluator.evaluate_batch(&legal);
+            let mut pending = legal.iter().zip(outs);
+            genomes
+                .into_iter()
+                .zip(decoded)
+                .map(|(g, d)| {
+                    let s = match d {
+                        Some(_) => {
+                            let (m, out) = pending.next().expect("one outcome per legal decode");
+                            rec.record_outcome(m, out).unwrap_or(f64::INFINITY)
+                        }
+                        None => {
+                            rec.record_outcome(&trivial, None);
+                            f64::INFINITY
+                        }
+                    };
+                    (g, s)
+                })
+                .collect()
         };
 
-        let mut pop: Vec<(Genome, f64)> = (0..pop_size)
+        // Genome construction touches only the rng, never the evaluator, so
+        // building the whole generation first and evaluating it as a batch
+        // preserves the serial rng stream bit for bit.
+        let genomes: Vec<Genome> = (0..pop_size)
             .map(|_| {
                 let mut g = Genome::seed(space, rng);
                 // Light random diversification of the initial population.
                 for _ in 0..3 {
                     g.mutate(&divs, rng);
                 }
-                let s = score_genome(&g, &mut rec);
-                (g, s)
+                g
             })
             .collect();
+        let mut pop: Vec<(Genome, f64)> = score_batch(genomes, &mut rec);
 
         while !rec.done() {
             pop.sort_by(|a, b| crate::outcome::score_cmp(a.1, b.1));
             pop.truncate(elite_count);
-            let n_children = pop_size - elite_count;
-            for _ in 0..n_children {
-                if rec.done() {
-                    break;
-                }
+            // Each child consumes exactly one sample (legal or not), so
+            // capping the brood at the remaining sample budget reproduces
+            // the serial per-child `rec.done()` check.
+            let k = rec.batch_room(pop_size - elite_count);
+            let mut children = Vec::with_capacity(k);
+            for _ in 0..k {
                 let i = rng.gen_range(0..pop.len().min(elite_count));
                 let j = rng.gen_range(0..pop.len().min(elite_count));
                 let mut child = Genome::crossover(&pop[i].0, &pop[j].0, rng);
                 if rng.gen_bool(self.mutation_rate) {
                     child.mutate(&divs, rng);
                 }
-                let s = score_genome(&child, &mut rec);
-                pop.push((child, s));
+                children.push(child);
             }
+            pop.extend(score_batch(children, &mut rec));
         }
         rec.finish()
     }
