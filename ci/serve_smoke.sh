@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# CI smoke test for `mapex serve`: boot the daemon, drive one fast
+# request, one deadline-exceeded request (must come back degraded), one
+# overload rejection against a queue of 1, then SIGTERM and assert a
+# clean drain (exit 0) within a timeout. Uses only the mapex binary
+# itself (`mapex request`) as the client — no extra tooling.
+set -euo pipefail
+
+MAPEX="${MAPEX:-target/release/mapex}"
+PROBLEM="GEMM;g;B=2,M=32,K=32,N=32"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"; [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null || true' EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+# --- boot (queue size 1 so overload is easy to trigger) ----------------
+"$MAPEX" serve --addr 127.0.0.1:0 --workers 1 --queue 1 --fault-injection \
+    > "$OUT/serve.log" 2>&1 &
+PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on //p' "$OUT/serve.log" | head -n1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon died during boot: $(cat "$OUT/serve.log")"
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "daemon never printed its address"
+echo "serve_smoke: daemon at $ADDR (pid $PID)"
+
+req() { "$MAPEX" request --addr "$ADDR" --timeout 60 "$1"; }
+
+# --- 1. fast request ---------------------------------------------------
+FAST="$(req "{\"id\": 1, \"op\": \"search\", \"problem\": \"$PROBLEM\", \"samples\": 300}")"
+echo "$FAST" | grep -q '"ok": true' || fail "fast request not ok: $FAST"
+echo "$FAST" | grep -q '"degraded": false' || fail "fast request degraded: $FAST"
+echo "$FAST" | grep -q '"mapping":' || fail "fast request has no mapping: $FAST"
+echo "serve_smoke: fast request ok"
+
+# --- 2. deadline-exceeded request must salvage, flagged degraded -------
+SLOW="$(req "{\"id\": 2, \"op\": \"search\", \"problem\": \"$PROBLEM\", \"mapper\": \"deadline-ignorer\", \"samples\": 100000000, \"deadline_ms\": 500}")"
+echo "$SLOW" | grep -q '"ok": true' || fail "deadline request not ok: $SLOW"
+echo "$SLOW" | grep -q '"degraded": true' || fail "deadline request not degraded: $SLOW"
+echo "serve_smoke: deadline salvage ok"
+
+# --- 3. overload rejection with queue size 1 ---------------------------
+# Saturate the single worker with a long deadline-ignorer, fill the
+# 1-slot queue with a second, then a third must be rejected.
+req "{\"id\": 3, \"op\": \"search\", \"problem\": \"$PROBLEM\", \"mapper\": \"deadline-ignorer\", \"samples\": 100000000, \"deadline_ms\": 4000}" > "$OUT/busy1.json" &
+BUSY1=$!
+sleep 0.5
+req "{\"id\": 4, \"op\": \"search\", \"problem\": \"$PROBLEM\", \"mapper\": \"deadline-ignorer\", \"samples\": 100000000, \"deadline_ms\": 4000}" > "$OUT/busy2.json" &
+BUSY2=$!
+sleep 0.5
+OVER="$(req "{\"id\": 5, \"op\": \"search\", \"problem\": \"$PROBLEM\", \"samples\": 100}")"
+echo "$OVER" | grep -q '"code": "overloaded"' || fail "expected overload rejection: $OVER"
+echo "$OVER" | grep -q '"kind": "transient"' || fail "overload must be transient: $OVER"
+echo "$OVER" | grep -q '"retry_after_ms"' || fail "overload must carry a retry hint: $OVER"
+echo "serve_smoke: overload rejection ok"
+
+# --- 4. SIGTERM: drain in-flight work, answer it, exit 0 ---------------
+kill -TERM "$PID"
+DRAIN_DEADLINE=$((SECONDS + 30))
+while kill -0 "$PID" 2>/dev/null; do
+    [ "$SECONDS" -lt "$DRAIN_DEADLINE" ] || fail "daemon did not drain within 30s"
+    sleep 0.2
+done
+wait "$PID" && RC=0 || RC=$?
+[ "$RC" -eq 0 ] || fail "daemon exited $RC after SIGTERM (want 0): $(cat "$OUT/serve.log")"
+# The two in-flight requests were admitted before the drain: both must
+# still have been answered (degraded salvage), exactly once.
+wait "$BUSY1" || fail "in-flight client 1 got no response"
+wait "$BUSY2" || fail "in-flight client 2 got no response"
+grep -q '"ok": true' "$OUT/busy1.json" || fail "in-flight 1 not answered: $(cat "$OUT/busy1.json")"
+grep -q '"ok": true' "$OUT/busy2.json" || fail "in-flight 2 not answered: $(cat "$OUT/busy2.json")"
+grep -q 'drained' "$OUT/serve.log" || fail "no drain summary in log: $(cat "$OUT/serve.log")"
+unset PID
+echo "serve_smoke: SIGTERM drain ok"
+echo "serve_smoke: PASS"

@@ -23,12 +23,11 @@ impl Args {
         let mut it = argv.into_iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                match it.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let v = it.next().expect("peeked");
+                match it.next_if(|v| !v.starts_with("--")) {
+                    Some(v) => {
                         out.options.insert(key.to_string(), v);
                     }
-                    _ => out.flags.push(key.to_string()),
+                    None => out.flags.push(key.to_string()),
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
@@ -89,7 +88,7 @@ mod tests {
     fn numeric_defaults_and_errors() {
         let a = parse("search --samples abc");
         assert!(a.get_num::<usize>("samples", 1).is_err());
-        assert_eq!(a.get_num::<usize>("seed", 7).unwrap(), 7);
+        assert_eq!(a.get_num::<usize>("seed", 7), Ok(7));
     }
 
     #[test]

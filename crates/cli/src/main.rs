@@ -35,8 +35,13 @@ commands:
   evaluate  cost one mapping on one workload
   sweep     map every layer of a zoo model (optionally warm-started)
   size      report the map-space size
-  validate  strictly check arch/problem spec files (.toml) without running
+  validate  strictly check arch/problem spec files (.toml) without running;
+            `-` reads a spec from stdin (pre-submit hook for serve)
   zoo       list built-in models and workloads
+  serve     run the mapping service: a JSON-lines-over-TCP daemon with
+            admission control, per-request deadlines, and graceful drain
+  request   send one JSON request line to a running daemon and print the
+            response line
   bench-throughput
             measure evaluation throughput (serial vs parallel vs cached)
             and write BENCH_throughput.json
@@ -73,6 +78,20 @@ common options:
   --quick                bench-throughput: smaller budget and case matrix
   --min-ratio R          bench-throughput: exit nonzero if parallel/serial
                          throughput falls below R on any case (CI smoke)
+
+serve/request options:
+  --addr HOST:PORT       serve: listen address (default 127.0.0.1:7070;
+                         port 0 picks a free port, printed on stdout)
+                         request: daemon address (required)
+  --workers N            serve: request workers (default 2; 0 = half cores)
+  --queue N              serve: admission-queue bound (default 64); above
+                         it requests get a structured overload response
+  --deadline-ms N        serve: default per-request deadline (default
+                         30000; 0 = none). Requests may override with
+                         their own \"deadline_ms\" field
+  --max-models N         serve: distinct model caches kept warm (default 32)
+  --fault-injection      serve: accept the `panic-injector` test mapper
+                         (for exercising panic isolation; never production)
 
 exit codes:
   0  success
@@ -122,6 +141,8 @@ fn main() -> ExitCode {
         Some("size") => cmd_size(&args),
         Some("validate") => cmd_validate(&args),
         Some("zoo") => cmd_zoo(),
+        Some("serve") => cmd_serve(&args),
+        Some("request") => cmd_request(&args),
         Some("bench-throughput") => cmd_bench_throughput(&args),
         _ => {
             eprint!("{USAGE}");
@@ -476,8 +497,19 @@ fn cmd_validate(args: &Args) -> Result<(), CliError> {
     }
     let mut archs = Vec::new();
     let mut problems = Vec::new();
-    for path in &args.positionals {
-        let text = std::fs::read_to_string(path).map_err(|e| input(format!("{path}: {e}")))?;
+    for given in &args.positionals {
+        // `-` reads one spec from stdin, so validate slots into pipelines
+        // (e.g. as a pre-submit hook in front of `mapex request`).
+        let (path, text) = if given == "-" {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                .map_err(|e| input(format!("<stdin>: {e}")))?;
+            ("<stdin>", text)
+        } else {
+            let text =
+                std::fs::read_to_string(given).map_err(|e| input(format!("{given}: {e}")))?;
+            (given.as_str(), text)
+        };
         match spec::parse_any(&text).map_err(|e| input(format!("{path}: {e}")))? {
             spec::Spec::Arch(a) => {
                 println!(
@@ -601,10 +633,92 @@ fn cmd_bench_throughput(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `mapex serve`: runs the JSON-lines-over-TCP mapping service until a
+/// drain is requested (SIGTERM/SIGINT), then finishes the admitted backlog
+/// and exits 0. The bound address is printed (and flushed) on stdout first
+/// so scripts can bind port 0 and discover the port.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let deadline_ms: u64 = args.get_num("deadline-ms", 30_000).map_err(input)?;
+    let cfg = mse::ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:7070").to_string(),
+        workers: args.get_num("workers", 2).map_err(input)?,
+        queue_capacity: args.get_num("queue", 64).map_err(input)?,
+        default_deadline_ms: if deadline_ms == 0 { None } else { Some(deadline_ms) },
+        eval: parse_eval(args)?,
+        guard: parse_guard(args)?,
+        max_models: args.get_num("max-models", 32).map_err(input)?,
+        fault_injection: args.flag("fault-injection"),
+        ..mse::ServeConfig::default()
+    };
+    mse::service::install_drain_signal_handlers();
+    let handle = mse::serve(cfg).map_err(input)?;
+    println!("listening on {}", handle.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(input)?;
+    let stats = handle.join();
+    println!(
+        "drained after {:.1}s: {} connection(s), {} request(s) completed, \
+         {} overload rejection(s), {} degraded, {} isolated panic(s)",
+        stats.uptime_secs,
+        stats.connections,
+        stats.completed,
+        stats.rejected_overload,
+        stats.degraded,
+        stats.request_panics
+    );
+    Ok(())
+}
+
+/// `mapex request`: sends one JSON request line to a running daemon and
+/// prints the response line. The request body is the first positional
+/// argument, or stdin when it is `-` or absent. Exits 0 whenever a
+/// response line was received (including structured error responses — the
+/// taxonomy is in the JSON, for scripts to inspect).
+fn cmd_request(args: &Args) -> Result<(), CliError> {
+    use std::io::{BufRead, Write};
+    let addr = args.get("addr").ok_or_else(|| input("--addr is required"))?;
+    let body = match args.positionals.first().map(String::as_str) {
+        Some("-") | None => {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                .map_err(|e| input(format!("<stdin>: {e}")))?;
+            text
+        }
+        Some(s) => s.to_string(),
+    };
+    let body = body.trim();
+    if body.is_empty() || body.contains('\n') {
+        return Err(input("request body must be exactly one nonempty JSON line"));
+    }
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| input(format!("connect {addr}: {e}")))?;
+    if let Some(t) = args.get("timeout") {
+        let secs: f64 = t.parse().map_err(|_| input("--timeout: bad value"))?;
+        let dur = std::time::Duration::from_secs_f64(secs);
+        stream.set_read_timeout(Some(dur)).map_err(input)?;
+    }
+    stream
+        .write_all(body.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| input(format!("send: {e}")))?;
+    let mut line = String::new();
+    std::io::BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| input(format!("receive: {e}")))?;
+    if line.trim().is_empty() {
+        return Err(CliError::NoResult(
+            "daemon closed the connection without responding".to_string(),
+        ));
+    }
+    println!("{}", line.trim_end());
+    Ok(())
+}
+
 fn cmd_zoo() -> Result<(), CliError> {
     println!("models:");
     for name in ["vgg16", "resnet50", "mobilenet_v2", "mnasnet", "bert_large"] {
-        let layers = problem::zoo::model(name).expect("zoo model");
+        let layers = problem::zoo::model(name)
+            .ok_or_else(|| input(format!("zoo model `{name}` is missing from the registry")))?;
         println!("  {name:<14} {} layers", layers.len());
     }
     println!();

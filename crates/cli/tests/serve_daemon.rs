@@ -1,0 +1,112 @@
+//! End-to-end test of the `mapex serve` binary: boot, serve a request via
+//! `mapex request`, then SIGTERM and assert a clean drain with exit 0.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const MAPEX: &str = env!("CARGO_BIN_EXE_mapex");
+
+fn spawn_daemon(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(MAPEX)
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mapex serve");
+    // The daemon prints (and flushes) "listening on ADDR" before serving.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line}"))
+        .to_string();
+    // Keep draining stdout in the background so the daemon never blocks
+    // on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while let Ok(n) = reader.read_line(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+    (child, addr)
+}
+
+fn request(addr: &str, body: &str) -> String {
+    let out = Command::new(MAPEX)
+        .args(["request", "--addr", addr, "--timeout", "60", body])
+        .output()
+        .expect("run mapex request");
+    assert!(
+        out.status.success(),
+        "mapex request failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 response")
+}
+
+fn sigterm(child: &Child) {
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill -TERM failed");
+}
+
+/// Waits for exit with a timeout so a drain bug fails the test instead of
+/// wedging CI.
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > timeout {
+            let _ = child.kill();
+            panic!("daemon did not exit within {timeout:?} after SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn daemon_serves_then_sigterm_drains_and_exits_zero() {
+    let (mut child, addr) = spawn_daemon(&[]);
+    let pong = request(&addr, "{\"id\": 1, \"op\": \"ping\"}");
+    assert!(pong.contains("\"ok\": true"), "unexpected ping response: {pong}");
+    let found = request(
+        &addr,
+        "{\"id\": 2, \"op\": \"search\", \"problem\": \"GEMM;g;B=1,M=16,K=16,N=16\", \"samples\": 200}",
+    );
+    assert!(found.contains("\"ok\": true"), "unexpected search response: {found}");
+    assert!(found.contains("\"mapping\":"), "search returns a mapping: {found}");
+
+    sigterm(&child);
+    let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0), "graceful drain must exit 0");
+}
+
+#[test]
+fn daemon_rejects_unknown_mapper_but_keeps_running() {
+    let (mut child, addr) = spawn_daemon(&[]);
+    // fault_injection is off by default: the test mappers must not exist.
+    let refused = request(
+        &addr,
+        "{\"id\": 1, \"op\": \"search\", \"problem\": \"GEMM;g;B=1,M=16,K=16,N=16\", \"mapper\": \"panic-injector\"}",
+    );
+    assert!(refused.contains("\"ok\": false") && refused.contains("bad-request"), "{refused}");
+    let pong = request(&addr, "{\"id\": 2, \"op\": \"ping\"}");
+    assert!(pong.contains("\"ok\": true"));
+    sigterm(&child);
+    let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0));
+}

@@ -1,0 +1,75 @@
+//! `mapex validate -` reads a spec from stdin, so validation slots into
+//! pipelines (e.g. as a pre-submit hook in front of `mapex request`).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const MAPEX: &str = env!("CARGO_BIN_EXE_mapex");
+
+fn validate_stdin(spec: &str) -> std::process::Output {
+    let mut child = Command::new(MAPEX)
+        .args(["validate", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mapex validate -");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(spec.as_bytes())
+        .expect("write spec to stdin");
+    child.wait_with_output().expect("wait for mapex")
+}
+
+#[test]
+fn good_spec_on_stdin_validates() {
+    let out = validate_stdin(
+        "kind = \"problem\"\nname = \"tiny\"\nop = \"GEMM\"\n[dims]\nB = 2\nM = 8\nK = 8\nN = 8\n",
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<stdin>: ok"), "stdin is labeled in the report: {stdout}");
+    assert!(stdout.contains("tiny"));
+}
+
+#[test]
+fn bad_spec_on_stdin_fails_with_input_exit_code() {
+    let out = validate_stdin("kind = \"problem\"\nname = \"broken\"\n");
+    assert_eq!(out.status.code(), Some(1), "spec errors are exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("<stdin>"), "error names the stdin source: {stderr}");
+}
+
+#[test]
+fn stdin_mixes_with_file_paths() {
+    let dir = std::env::temp_dir().join(format!("mapex-validate-stdin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let arch_path = dir.join("npu.toml");
+    std::fs::write(
+        &arch_path,
+        "kind = \"arch\"\nname = \"npu\"\nmac_energy = 1.0\nword_bytes = 2\n\
+         [[level]]\nname = \"DRAM\"\nfanout = 1\nenergy_per_access = 200.0\nbandwidth = 16.0\n\
+         [[level]]\nname = \"Buf\"\ncapacity_words = 65536\nfanout = 64\nenergy_per_access = 1.0\nbandwidth = 4.0\n",
+    )
+    .expect("write arch spec");
+    let mut child = Command::new(MAPEX)
+        .args(["validate", arch_path.to_str().expect("utf8 path"), "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mapex");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"kind = \"problem\"\nname = \"g\"\nop = \"GEMM\"\n[dims]\nB = 2\nM = 8\nK = 8\nN = 8\n")
+        .expect("write spec");
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cross-check"), "arch x problem mappability checked: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

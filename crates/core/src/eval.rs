@@ -156,6 +156,11 @@ struct JobSlot {
 /// back indexed by submission order. With fewer than two workers the pool
 /// holds no threads and batches run inline — the degenerate configuration
 /// used to represent "serial" without a second code path.
+///
+/// Multiple threads may submit concurrently (the service daemon's request
+/// workers share one pool): every batch completes correctly because each
+/// submitter drains its own batch itself; parked workers simply assist
+/// whichever submission most recently occupied the slot.
 pub struct EvalPool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
@@ -254,9 +259,16 @@ impl EvalPool {
         {
             // Drop our handle from the slot so the batch's borrows end
             // with this call (workers may still hold the Arc briefly, but
-            // only touch it to fail a claim).
+            // only touch it to fail a claim). Concurrent submitters are
+            // legal (the service daemon's request workers share one pool):
+            // a later submission may already occupy the slot, in which
+            // case it is not ours to clear — each submitter always drains
+            // its own batch itself, so forward progress never depends on
+            // winning the slot.
             let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
-            slot.job = None;
+            if slot.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+                slot.job = None;
+            }
         }
         if let Some(p) = st.panic.take() {
             drop(st);

@@ -50,6 +50,10 @@ pub struct WatchdogEvaluator<'a> {
     inner: &'a dyn Evaluator,
     budget: Budget,
     grace_evals: usize,
+    /// Absolute wall-clock point past which evaluation stops *immediately*
+    /// (no 2x slack) — the service layer's per-request deadline. `None`
+    /// keeps the historical budget-only enforcement.
+    deadline: Option<Instant>,
     start: Instant,
     evaluated: AtomicUsize,
     shadow: Mutex<Shadow>,
@@ -59,10 +63,26 @@ impl<'a> WatchdogEvaluator<'a> {
     /// Wraps `inner`, enforcing `budget` with `grace_evals` of slack on
     /// the sample count (time budgets get 2x the limit plus 100 ms).
     pub fn new(inner: &'a dyn Evaluator, budget: Budget, grace_evals: usize) -> Self {
+        Self::with_deadline(inner, budget, grace_evals, None)
+    }
+
+    /// [`WatchdogEvaluator::new`] plus a hard absolute deadline: once
+    /// `deadline` passes, the next evaluation raises [`WatchdogStop`] with
+    /// no grace at all. Budgets describe what the mapper *should* spend;
+    /// the deadline is what the caller (e.g. a serving request) can
+    /// *afford* — the salvageable shadow incumbent is the answer either
+    /// way.
+    pub fn with_deadline(
+        inner: &'a dyn Evaluator,
+        budget: Budget,
+        grace_evals: usize,
+        deadline: Option<Instant>,
+    ) -> Self {
         WatchdogEvaluator {
             inner,
             budget,
             grace_evals,
+            deadline,
             start: Instant::now(),
             evaluated: AtomicUsize::new(0),
             shadow: Mutex::new(Shadow { best: None, best_score: f64::INFINITY }),
@@ -105,7 +125,14 @@ impl<'a> WatchdogEvaluator<'a> {
         })
     }
 
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
     fn overrun(&self, n: usize) -> bool {
+        if self.past_deadline() {
+            return true;
+        }
         if let Some(max) = self.budget.max_samples {
             if n > max + self.grace_evals {
                 return true;
@@ -150,6 +177,9 @@ impl Evaluator for WatchdogEvaluator<'_> {
     /// reported.
     fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
         let start = self.evaluated.load(Ordering::Relaxed);
+        if self.past_deadline() {
+            std::panic::panic_any(WatchdogStop { evaluated: start });
+        }
         if let Some(t) = self.budget.max_time {
             if self.start.elapsed() > t * 2 + std::time::Duration::from_millis(100) {
                 std::panic::panic_any(WatchdogStop { evaluated: start });
@@ -159,11 +189,26 @@ impl Evaluator for WatchdogEvaluator<'_> {
             Some(max) => (max + self.grace_evals).saturating_sub(start).min(batch.len()),
             None => batch.len(),
         };
-        let outs = self.inner.evaluate_batch(&batch[..allowed]);
-        self.evaluated.fetch_add(allowed, Ordering::Relaxed);
+        // Without a deadline the whole admitted prefix goes to the inner
+        // evaluator as one batch (the historical, maximally parallel
+        // behavior, bit-identical to serial). With one, it goes in bounded
+        // chunks so the stop lands within one chunk's latency of the
+        // deadline instead of one whole generation's.
+        let chunk_len = if self.deadline.is_some() { 64 } else { allowed.max(1) };
+        let mut outs: Vec<Option<(Cost, f64)>> = Vec::with_capacity(allowed);
+        let mut deadline_hit = false;
+        for chunk in batch[..allowed].chunks(chunk_len) {
+            if !outs.is_empty() && self.past_deadline() {
+                deadline_hit = true;
+                break;
+            }
+            outs.extend(self.inner.evaluate_batch(chunk));
+        }
+        let done = outs.len();
+        self.evaluated.fetch_add(done, Ordering::Relaxed);
         {
             let mut shadow = self.shadow.lock().unwrap_or_else(|e| e.into_inner());
-            for (m, out) in batch[..allowed].iter().zip(&outs) {
+            for (m, out) in batch[..done].iter().zip(&outs) {
                 if let Some((cost, score)) = out {
                     if score.is_finite() && *score < shadow.best_score {
                         shadow.best_score = *score;
@@ -172,8 +217,8 @@ impl Evaluator for WatchdogEvaluator<'_> {
                 }
             }
         }
-        if allowed < batch.len() {
-            std::panic::panic_any(WatchdogStop { evaluated: start + allowed });
+        if deadline_hit || done < batch.len() {
+            std::panic::panic_any(WatchdogStop { evaluated: start + done });
         }
         outs
     }

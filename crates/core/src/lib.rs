@@ -26,7 +26,9 @@
 mod driver;
 pub mod eval;
 pub mod fault;
+pub mod json;
 pub mod runtime;
+pub mod service;
 pub mod sparsity;
 pub mod warmstart;
 
@@ -37,6 +39,7 @@ pub use runtime::{
     run_network_checkpointed, run_network_checkpointed_parallel, CheckpointError, LayerCheckpoint,
     RunPolicy, SweepCheckpoint,
 };
+pub use service::{serve, ErrorKind, ServeConfig, ServeStats, ServerHandle};
 pub use sparsity::{
     density_sweep, weight_density_sweep, SparsityAwareEvaluator, StaticDensityEvaluator,
     DEFAULT_SEARCH_DENSITIES,

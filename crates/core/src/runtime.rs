@@ -27,6 +27,7 @@
 
 use crate::driver::Mse;
 use crate::eval::{CachedEvaluator, EvalCache, EvalConfig, EvalPool, PoolEvaluator};
+use crate::json;
 use crate::fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};
 use crate::warmstart::{
     run_network_from, run_network_parallel_from, InitStrategy, LayerOutcome, ReplayBuffer,
@@ -63,11 +64,22 @@ pub struct RunPolicy {
     /// otherwise. Results are bit-identical across configurations by
     /// construction; only throughput (and cache counters) change.
     pub eval: EvalConfig,
+    /// Absolute hard deadline shared by *all* attempts: once it passes,
+    /// the watchdog stops the mapper immediately (no 2x slack) and the
+    /// shadow incumbent is salvaged. `None` (the default) keeps plain
+    /// budget enforcement. Set by the service layer, where a request's
+    /// deadline is a promise to the client, not a hint to the mapper.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for RunPolicy {
     fn default() -> Self {
-        RunPolicy { retries: 2, grace_evals: 1024, eval: EvalConfig::serial() }
+        RunPolicy {
+            retries: 2,
+            grace_evals: 1024,
+            eval: EvalConfig::serial(),
+            deadline: None,
+        }
     }
 }
 
@@ -80,6 +92,12 @@ impl RunPolicy {
     /// Same policy with a different evaluation-stack configuration.
     pub fn with_eval(mut self, eval: EvalConfig) -> Self {
         self.eval = eval;
+        self
+    }
+
+    /// Same policy with a hard absolute deadline.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -155,6 +173,32 @@ impl Mse<'_> {
         policy: RunPolicy,
         audit: Option<&dyn GuardAudit>,
     ) -> RunOutcome {
+        let pool = EvalPool::new(policy.eval);
+        let cache = EvalCache::new(policy.eval.cache_capacity);
+        self.run_resilient_shared(mapper, evaluator, budget, seed, policy, audit, &pool, &cache)
+    }
+
+    /// The full defensive stack against an *externally owned* evaluation
+    /// engine: the worker pool and memo cache are the caller's, so they
+    /// outlive this run. This is the serving entry point — `mapex serve`
+    /// keeps one [`EvalPool`] for the whole daemon and one [`EvalCache`]
+    /// per (problem, arch, density) model key, so repeated requests hit
+    /// warm caches while results stay bit-identical to a cold run.
+    ///
+    /// `audit` is optional: `Some` enables the per-attempt quarantine
+    /// accounting of [`Mse::run_guarded_audited`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_resilient_shared(
+        &self,
+        mapper: &dyn Mapper,
+        evaluator: &dyn Evaluator,
+        budget: Budget,
+        seed: u64,
+        policy: RunPolicy,
+        audit: Option<&dyn GuardAudit>,
+        pool: &EvalPool,
+        cache: &EvalCache,
+    ) -> RunOutcome {
         quiet_sentinel_panics();
         let space = self.space();
         // Evaluation stack, innermost first: the caller's evaluator, a
@@ -163,18 +207,16 @@ impl Mse<'_> {
         // per-attempt watchdog outermost so its counts include cache hits
         // and stay identical to an uncached serial run. Pool and cache
         // persist across retry attempts.
-        let pool = EvalPool::new(policy.eval);
-        let cache = EvalCache::new(policy.eval.cache_capacity);
         let pooled;
         let inner: &dyn Evaluator = if pool.lanes() > 1 {
-            pooled = PoolEvaluator::new(&pool, evaluator);
+            pooled = PoolEvaluator::new(pool, evaluator);
             &pooled
         } else {
             evaluator
         };
         let cached;
         let stack: &dyn Evaluator = if cache.enabled() {
-            cached = CachedEvaluator::new(&cache, inner);
+            cached = CachedEvaluator::new(cache, inner);
             &cached
         } else {
             inner
@@ -186,7 +228,12 @@ impl Mse<'_> {
         for attempt in 0..=policy.retries {
             let attempt_seed = reseed(seed, attempt as u64);
             let rejections_before = audit.map_or(0, |a| a.report().rejections);
-            let watchdog = WatchdogEvaluator::new(stack, budget, policy.grace_evals);
+            let watchdog = WatchdogEvaluator::with_deadline(
+                stack,
+                budget,
+                policy.grace_evals,
+                policy.deadline,
+            );
             let started = Instant::now();
             let run = catch_unwind(AssertUnwindSafe(|| {
                 let mut rng = SmallRng::seed_from_u64(attempt_seed);
@@ -532,31 +579,31 @@ impl SweepCheckpoint {
         // u64 seeds as strings: JSON numbers are doubles and would round
         // seeds above 2^53.
         s.push_str(&format!("  \"seed\": \"{}\",\n", self.seed));
-        s.push_str(&format!("  \"strategy\": {},\n", json_string(&self.strategy)));
+        s.push_str(&format!("  \"strategy\": {},\n", json::escape(&self.strategy)));
         match self.budget_samples {
             Some(n) => s.push_str(&format!("  \"budget_samples\": {n},\n")),
             None => s.push_str("  \"budget_samples\": null,\n"),
         }
         match self.budget_seconds {
-            Some(t) => s.push_str(&format!("  \"budget_seconds\": {},\n", json_f64(t))),
+            Some(t) => s.push_str(&format!("  \"budget_seconds\": {},\n", json::num(t))),
             None => s.push_str("  \"budget_seconds\": null,\n"),
         }
         s.push_str("  \"layers\": [");
         for (i, l) in self.layers.iter().enumerate() {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
             s.push_str("    {");
-            s.push_str(&format!("\"name\": {}, ", json_string(&l.name)));
-            s.push_str(&format!("\"init_score\": {}, ", json_f64(l.init_score)));
-            s.push_str(&format!("\"best_score\": {}, ", json_f64(l.best_score)));
+            s.push_str(&format!("\"name\": {}, ", json::escape(&l.name)));
+            s.push_str(&format!("\"init_score\": {}, ", json::num(l.init_score)));
+            s.push_str(&format!("\"best_score\": {}, ", json::num(l.best_score)));
             s.push_str(&format!("\"converge_sample\": {}, ", l.converge_sample));
             s.push_str(&format!("\"evaluated\": {}, ", l.evaluated));
-            s.push_str(&format!("\"elapsed_secs\": {}, ", json_f64(l.elapsed_secs)));
+            s.push_str(&format!("\"elapsed_secs\": {}, ", json::num(l.elapsed_secs)));
             match &l.mapping {
-                Some(spec) => s.push_str(&format!("\"mapping\": {}, ", json_string(spec))),
+                Some(spec) => s.push_str(&format!("\"mapping\": {}, ", json::escape(spec))),
                 None => s.push_str("\"mapping\": null, "),
             }
-            s.push_str(&format!("\"latency_cycles\": {}, ", json_f64(l.latency_cycles)));
-            s.push_str(&format!("\"energy_uj\": {}", json_f64(l.energy_uj)));
+            s.push_str(&format!("\"latency_cycles\": {}, ", json::num(l.latency_cycles)));
+            s.push_str(&format!("\"energy_uj\": {}", json::num(l.energy_uj)));
             s.push('}');
         }
         s.push_str("\n  ]\n}\n");
@@ -641,30 +688,81 @@ impl SweepCheckpoint {
         Ok(SweepCheckpoint { seed, strategy, budget_samples, budget_seconds, layers })
     }
 
-    /// Loads a checkpoint file.
-    ///
-    /// # Errors
-    ///
-    /// [`CheckpointError::Io`] on read failure, [`CheckpointError::Corrupt`]
-    /// on malformed content.
-    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let text = std::fs::read_to_string(path)?;
-        SweepCheckpoint::from_json(&text)
+    /// Path of the rolling backup `save` keeps next to `path`
+    /// (`<path>.bak`): always the previous successfully written
+    /// checkpoint, at most one layer of progress behind.
+    pub fn backup_path(path: &Path) -> std::path::PathBuf {
+        let mut s = path.as_os_str().to_owned();
+        s.push(".bak");
+        std::path::PathBuf::from(s)
     }
 
-    /// Writes the checkpoint atomically: the bytes go to a `.tmp` sibling
-    /// first and are renamed over `path`, so an interrupted write can
-    /// never leave a torn checkpoint behind.
+    /// Loads a checkpoint file, falling back to the `.bak` sibling when
+    /// the primary is corrupt (torn write, bit rot) or missing (a crash
+    /// landed between `save`'s two renames). The backup is at most one
+    /// layer behind, and resume re-runs that layer deterministically.
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::Io`] on write or rename failure.
+    /// [`CheckpointError::Io`] when neither file is readable,
+    /// [`CheckpointError::Corrupt`] when neither parses.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let fall_back = |primary_err: CheckpointError| {
+            match std::fs::read_to_string(Self::backup_path(path)) {
+                Ok(text) => SweepCheckpoint::from_json(&text).map_err(|_| match primary_err {
+                    CheckpointError::Corrupt(msg) => {
+                        CheckpointError::Corrupt(format!("{msg} (backup also unusable)"))
+                    }
+                    other => other,
+                }),
+                Err(_) => Err(primary_err),
+            }
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => match SweepCheckpoint::from_json(&text) {
+                Ok(c) => Ok(c),
+                Err(e @ CheckpointError::Corrupt(_)) => fall_back(e),
+                Err(e) => Err(e),
+            },
+            Err(io) => fall_back(CheckpointError::Io(io)),
+        }
+    }
+
+    /// Writes the checkpoint atomically *and durably*: the bytes go to a
+    /// `.tmp` sibling which is fsynced before being renamed over `path`
+    /// (so a crash cannot promote a torn file), the previous checkpoint is
+    /// kept as `.bak` (so later corruption of the primary still resumes),
+    /// and the parent directory is fsynced after the renames (so the
+    /// renames themselves survive a power cut).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on write, sync, or rename failure.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        use std::io::Write;
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_json())?;
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            // A rename is only as durable as the data behind it.
+            f.sync_all()?;
+        }
+        if path.exists() {
+            std::fs::rename(path, Self::backup_path(path))?;
+        }
         std::fs::rename(&tmp, path)?;
+        // Directory entries have their own durability; fsync is
+        // best-effort because not every platform lets a directory be
+        // opened for syncing.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        if let Ok(d) = std::fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
         Ok(())
     }
 }
@@ -784,7 +882,9 @@ fn replay_checkpoint(
     checkpoint_path: &Path,
     resume: bool,
 ) -> Result<(SweepCheckpoint, Vec<LayerOutcome>), CheckpointError> {
-    let ckpt = if resume && checkpoint_path.exists() {
+    let resumable = checkpoint_path.exists()
+        || SweepCheckpoint::backup_path(checkpoint_path).exists();
+    let ckpt = if resume && resumable {
         let c = SweepCheckpoint::load(checkpoint_path)?;
         c.check_matches(seed, strategy, budget, layers)?;
         c
@@ -800,278 +900,6 @@ fn replay_checkpoint(
         out.push(outcome);
     }
     Ok((ckpt, out))
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// JSON numbers cannot encode non-finite doubles; encode those as strings
-/// (`"inf"`, `"-inf"`, `"nan"`) and accept both forms when parsing.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:?}")
-    } else if v.is_nan() {
-        "\"nan\"".to_string()
-    } else if v > 0.0 {
-        "\"inf\"".to_string()
-    } else {
-        "\"-inf\"".to_string()
-    }
-}
-
-/// Minimal JSON reader for checkpoints — the build environment is fully
-/// offline, so no serde_json. Numbers keep their raw token so integer
-/// fields (seeds) round-trip exactly through `u64`.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        /// Raw number token, converted on access.
-        Num(String),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(raw) => raw.parse().ok(),
-                // Seeds are written as strings (see `to_json`).
-                Value::Str(s) => s.parse().ok(),
-                _ => None,
-            }
-        }
-
-        /// Accepts numbers and the `"inf"`/`"-inf"`/`"nan"` string forms.
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(raw) => raw.parse().ok(),
-                Value::Str(s) => s.parse().ok(),
-                _ => None,
-            }
-        }
-
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(v) => Some(v),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parses one JSON document.
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!("expected {:?} at offset {}", b as char, self.pos))
-            }
-        }
-
-        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                Ok(v)
-            } else {
-                Err(format!("bad literal at offset {}", self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => self.string().map(Value::Str),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-                _ => Err(format!("unexpected byte at offset {}", self.pos)),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let v = self.value()?;
-                fields.push((key, v));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    None => return Err("unterminated string".to_string()),
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        let esc = self.peek().ok_or("unterminated escape")?;
-                        self.pos += 1;
-                        match esc {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'/' => out.push('/'),
-                            b'b' => out.push('\u{8}'),
-                            b'f' => out.push('\u{c}'),
-                            b'n' => out.push('\n'),
-                            b'r' => out.push('\r'),
-                            b't' => out.push('\t'),
-                            b'u' => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos..self.pos + 4)
-                                    .ok_or("truncated \\u escape")?;
-                                let hex = std::str::from_utf8(hex)
-                                    .map_err(|_| "bad \\u escape".to_string())?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|_| "bad \\u escape".to_string())?;
-                                self.pos += 4;
-                                // Surrogate pairs are not emitted by our
-                                // writer; reject rather than mis-decode.
-                                let c = char::from_u32(code)
-                                    .ok_or_else(|| "unsupported \\u escape".to_string())?;
-                                out.push(c);
-                            }
-                            _ => return Err(format!("bad escape at offset {}", self.pos)),
-                        }
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 character (multi-byte safe).
-                        let rest = &self.bytes[self.pos..];
-                        let s = std::str::from_utf8(rest)
-                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                        let c = s.chars().next().unwrap();
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.pos;
-            while matches!(
-                self.peek(),
-                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-            ) {
-                self.pos += 1;
-            }
-            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-                .map_err(|_| "bad number".to_string())?;
-            if raw.parse::<f64>().is_err() {
-                return Err(format!("bad number {raw:?} at offset {start}"));
-            }
-            Ok(Value::Num(raw.to_string()))
-        }
-    }
 }
 
 #[cfg(test)]

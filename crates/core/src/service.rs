@@ -1,0 +1,1215 @@
+//! `mapex serve` — a crash-only mapping-as-a-service daemon.
+//!
+//! Concurrent clients connect over TCP and exchange one JSON document per
+//! line (the protocol reuses [`crate::json`]; there are no new
+//! dependencies). Evaluate/search requests run on the daemon's shared
+//! [`EvalPool`] and per-model [`EvalCache`]s under the invariant guard,
+//! through the same resilient runtime the batch CLI uses — so the
+//! robustness machinery of the earlier layers (watchdog budgets, panic
+//! isolation, guard quarantine) is what stands between a request and the
+//! process.
+//!
+//! Robustness properties, in order of importance:
+//!
+//! 1. **Bounded admission.** Work requests pass a bounded queue; when it
+//!    is full the client gets an immediate structured overload response
+//!    carrying a `retry_after_ms` hint instead of unbounded buffering or a
+//!    hung connection.
+//! 2. **Deadlines that degrade, not error.** A request's `deadline_ms` is
+//!    enforced by the watchdog *inside* the evaluation path; when it
+//!    expires the best-so-far incumbent is salvaged and returned flagged
+//!    `"degraded": true`.
+//! 3. **Error taxonomy.** Every failure response says whether it is
+//!    `"transient"` (retry the same request: overload, drain, a panic, a
+//!    missed deadline with nothing salvaged) or `"permanent"` (don't:
+//!    malformed JSON, a bad spec, an unmappable pairing).
+//! 4. **Panic isolation.** A request that panics the mapper or the model
+//!    produces a structured error response; the daemon keeps serving.
+//! 5. **Graceful drain.** SIGTERM (or [`ServerHandle::drain`]) stops
+//!    accepting, finishes everything already admitted, answers each
+//!    admitted request exactly once, and exits 0.
+//!
+//! A `stats` request surfaces uptime, queue depth, cache and
+//! guard-quarantine counters, so a live daemon is debuggable in place.
+//!
+//! # Protocol
+//!
+//! Request (one line): `{"id": <any>, "op": "ping" | "stats" | "validate"
+//! | "evaluate" | "search", ...}`. The `id` is echoed verbatim in the
+//! response. Workloads are given either as `"problem"` (the CLI's
+//! one-liner codec, e.g. `"GEMM;g;B=4,M=64,K=64,N=64"`) or `"problem_toml"`
+//! (the hardened [`spec`] TOML subset); architectures as `"arch"`
+//! (`"accel-a"` / `"accel-b"`) or `"arch_toml"`.
+//!
+//! Response (one line): `{"id": ..., "ok": true, ...}` or `{"id": ...,
+//! "ok": false, "error": {"code": ..., "kind": "transient" | "permanent",
+//! "message": ..., "retry_after_ms": ...}}`.
+
+use crate::driver::Mse;
+use crate::eval::{EvalCache, EvalConfig, EvalPool};
+use crate::json;
+use crate::runtime::RunPolicy;
+use arch::Arch;
+use costmodel::{
+    CostModel, DenseModel, GuardAudit, GuardConfig, GuardPolicy, GuardedModel, SparseModel,
+};
+use mappers::{
+    Budget, CrossEntropy, EdpEvaluator, Exhaustive, Gamma, HillClimb, Mapper, RandomMapper,
+    RandomPruned, Reinforce, RunError, RunStatus, SimulatedAnnealing, StandardGa,
+};
+use mapping::Mapping;
+use problem::{Density, Problem};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of the serving daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Request-worker threads (each runs one admitted request at a time).
+    /// `0` resolves to half the cores, at least one.
+    pub workers: usize,
+    /// Admission-queue bound: requests beyond `workers` in flight plus
+    /// this many queued are rejected with an overload response.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`. `None` means no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Largest accepted request line; longer ones get a permanent
+    /// `request-too-large` response and the connection is closed (there is
+    /// no way to resynchronize a line protocol mid-line).
+    pub max_request_bytes: usize,
+    /// Evaluation stack: worker-pool width shared by the whole daemon,
+    /// and the capacity of each per-model evaluation cache.
+    pub eval: EvalConfig,
+    /// Invariant-guard policy applied to every cost-model evaluation.
+    pub guard: Option<GuardPolicy>,
+    /// Bound on distinct (problem, arch, density) model caches kept warm.
+    pub max_models: usize,
+    /// Test hook: accept `"mapper": "panic-injector"`, a mapper that
+    /// panics mid-search, to exercise panic isolation end to end. Off by
+    /// default; never enable in production.
+    pub fault_injection: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline_ms: Some(30_000),
+            max_request_bytes: 1 << 20,
+            eval: EvalConfig { threads: 1, cache_capacity: 1 << 14 },
+            guard: Some(GuardPolicy::Reject),
+            max_models: 32,
+            fault_injection: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            (std::thread::available_parallelism().map_or(1, |n| n.get()) / 2).max(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Whether a failed request is worth retrying verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Retry later (overload, drain, panic, missed deadline with nothing
+    /// salvaged): the failure is about the daemon's current state, not the
+    /// request.
+    Transient,
+    /// Do not retry: the request itself is the problem (malformed JSON,
+    /// bad spec, unmappable pairing, a space with no legal point).
+    Permanent,
+}
+
+impl ErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Transient => "transient",
+            ErrorKind::Permanent => "permanent",
+        }
+    }
+}
+
+/// A structured failure response before rendering.
+struct ServiceError {
+    code: &'static str,
+    kind: ErrorKind,
+    message: String,
+    retry_after_ms: Option<u64>,
+}
+
+impl ServiceError {
+    fn permanent(code: &'static str, message: impl Into<String>) -> Self {
+        ServiceError { code, kind: ErrorKind::Permanent, message: message.into(), retry_after_ms: None }
+    }
+
+    fn transient(code: &'static str, message: impl Into<String>, retry_after_ms: Option<u64>) -> Self {
+        ServiceError { code, kind: ErrorKind::Transient, message: message.into(), retry_after_ms }
+    }
+
+    fn render(&self, id: &str) -> String {
+        let mut s = format!(
+            "{{\"id\": {id}, \"ok\": false, \"error\": {{\"code\": {}, \"kind\": {}, \"message\": {}",
+            json::escape(self.code),
+            json::escape(self.kind.as_str()),
+            json::escape(&self.message),
+        );
+        if let Some(ms) = self.retry_after_ms {
+            s.push_str(&format!(", \"retry_after_ms\": {ms}"));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Terminal statistics returned by [`ServerHandle::join`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Wall-clock seconds the daemon served.
+    pub uptime_secs: f64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Work requests admitted to the queue.
+    pub accepted: u64,
+    /// Admitted requests answered (every admitted request is, exactly once).
+    pub completed: u64,
+    /// Work requests rejected with an overload response.
+    pub rejected_overload: u64,
+    /// Work requests rejected because the daemon was draining.
+    pub rejected_draining: u64,
+    /// Responses flagged `degraded: true` (deadline/budget salvage).
+    pub degraded: u64,
+    /// Requests whose handler panicked (isolated, answered with an error).
+    pub request_panics: u64,
+    /// Malformed or invalid requests answered inline.
+    pub invalid: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_draining: AtomicU64,
+    degraded: AtomicU64,
+    request_panics: AtomicU64,
+    invalid: AtomicU64,
+}
+
+/// Per-model evaluation caches, keyed on (problem, arch, density, guard)
+/// so a cache hit can never cross models. FIFO-bounded: a daemon fed an
+/// endless stream of distinct workloads stays at `max_models` caches.
+struct ModelCaches {
+    map: HashMap<String, Arc<EvalCache>>,
+    fifo: VecDeque<String>,
+}
+
+/// One admitted unit of work plus everything needed to answer it.
+struct Job {
+    id: String,
+    work: Work,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+enum Work {
+    Evaluate {
+        problem: Problem,
+        arch: Arch,
+        density: Option<Density>,
+        mapping: Mapping,
+    },
+    Search {
+        problem: Problem,
+        arch: Arch,
+        density: Option<Density>,
+        mapper: String,
+        samples: usize,
+        deadline: Option<Duration>,
+        seed: u64,
+        retries: usize,
+    },
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    started: Instant,
+    draining: AtomicBool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    counters: Counters,
+    pool: EvalPool,
+    caches: Mutex<ModelCaches>,
+    guard_violations: AtomicU64,
+    guard_rejections: AtomicU64,
+    /// EWMA of recent request service time in ms (backs `retry_after_ms`).
+    ewma_ms: AtomicU64,
+    /// Read-half clones of live connections, shut down at drain so reader
+    /// threads unblock.
+    conns: Mutex<Vec<TcpStream>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn should_drain(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal_drain_requested()
+    }
+
+    /// `retry_after_ms` hint: roughly how long until a queue slot frees up
+    /// — the smoothed service time times the line ahead of the client.
+    fn retry_hint(&self, queue_len: usize) -> u64 {
+        let ewma = self.ewma_ms.load(Ordering::Relaxed).max(20);
+        (ewma * (queue_len as u64 + 1)).clamp(50, 30_000)
+    }
+
+    fn observe_service_ms(&self, ms: u64) {
+        let old = self.ewma_ms.load(Ordering::Relaxed);
+        let new = if old == 0 { ms } else { (old * 7 + ms) / 8 };
+        self.ewma_ms.store(new, Ordering::Relaxed);
+    }
+
+    /// The evaluation cache for one model key, creating (and FIFO-evicting
+    /// beyond `max_models`) as needed.
+    fn cache_for(&self, key: String) -> Arc<EvalCache> {
+        let mut caches = self.caches.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = caches.map.get(&key) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(EvalCache::new(self.cfg.eval.cache_capacity));
+        caches.map.insert(key.clone(), Arc::clone(&c));
+        caches.fifo.push_back(key);
+        while caches.fifo.len() > self.cfg.max_models.max(1) {
+            if let Some(old) = caches.fifo.pop_front() {
+                caches.map.remove(&old);
+            }
+        }
+        c
+    }
+
+    fn cache_totals(&self) -> mappers::CacheStats {
+        let caches = self.caches.lock().unwrap_or_else(|e| e.into_inner());
+        let mut total = mappers::CacheStats::default();
+        for c in caches.map.values() {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.inserts += s.inserts;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIGTERM / SIGINT → drain (unix only; other platforms drain via the API)
+// ---------------------------------------------------------------------------
+
+static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
+
+fn signal_drain_requested() -> bool {
+    SIGNAL_DRAIN.load(Ordering::SeqCst)
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful drain (the
+/// crash-only shutdown path: stop accepting, finish in-flight, answer
+/// everything exactly once, exit 0). Safe to call more than once.
+#[cfg(unix)]
+pub fn install_drain_signal_handlers() {
+    // Raw libc `signal(2)` via FFI: the build is dependency-free and std
+    // exposes no signal API. The handler only stores to an atomic, which
+    // is async-signal-safe.
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNAL_DRAIN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Non-unix stub: signals are not wired up; drain via [`ServerHandle`].
+#[cfg(not(unix))]
+pub fn install_drain_signal_handlers() {}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle
+// ---------------------------------------------------------------------------
+
+/// A running daemon. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::drain`] then [`ServerHandle::join`] (or send SIGTERM
+/// when the signal handlers are installed).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: stop accepting, finish everything
+    /// admitted, answer each admitted request exactly once. Returns
+    /// immediately; use [`ServerHandle::join`] to wait it out.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Waits for the daemon to finish draining (triggered by
+    /// [`ServerHandle::drain`] or a signal) and returns final statistics.
+    pub fn join(mut self) -> ServeStats {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let readers: Vec<JoinHandle<()>> = {
+            let mut r = self.shared.readers.lock().unwrap_or_else(|e| e.into_inner());
+            r.drain(..).collect()
+        };
+        for r in readers {
+            let _ = r.join();
+        }
+        let c = &self.shared.counters;
+        ServeStats {
+            uptime_secs: self.shared.started.elapsed().as_secs_f64(),
+            connections: c.connections.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
+            rejected_draining: c.rejected_draining.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            request_panics: c.request_panics.load(Ordering::Relaxed),
+            invalid: c.invalid.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Binds and starts the daemon: an accept thread, `workers` request
+/// workers, and one reader thread per connection.
+///
+/// # Errors
+///
+/// I/O errors binding the listen address.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    crate::fault::quiet_sentinel_panics();
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.resolved_workers();
+    let pool = EvalPool::new(cfg.eval);
+    let shared = Arc::new(Shared {
+        cfg,
+        started: Instant::now(),
+        draining: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        counters: Counters::default(),
+        pool,
+        caches: Mutex::new(ModelCaches { map: HashMap::new(), fifo: VecDeque::new() }),
+        guard_violations: AtomicU64::new(0),
+        guard_rejections: AtomicU64::new(0),
+        ewma_ms: AtomicU64::new(0),
+        conns: Mutex::new(Vec::new()),
+        readers: Mutex::new(Vec::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    let worker_handles = (0..workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+    Ok(ServerHandle { addr, shared, accept: Some(accept), workers: worker_handles })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.should_drain() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+                }
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::spawn(move || reader_loop(stream, &shared2));
+                shared.readers.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    // Drain: we have stopped accepting. Propagate the flag (the trigger
+    // may have been a signal), unblock parked workers, and shut down the
+    // read half of every connection so reader threads see EOF instead of
+    // blocking forever. Write halves stay open: workers are still
+    // answering the admitted backlog.
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    let conns: Vec<TcpStream> = {
+        let mut c = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        c.drain(..).collect()
+    };
+    for c in conns {
+        let _ = c.shutdown(Shutdown::Read);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.should_drain() {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let started = Instant::now();
+        // Panic isolation: one poisoned request becomes a structured
+        // transient error; the worker (and daemon) keep serving.
+        let response = match catch_unwind(AssertUnwindSafe(|| execute(shared, &job))) {
+            Ok(line) => line,
+            Err(payload) => {
+                shared.counters.request_panics.fetch_add(1, Ordering::Relaxed);
+                ServiceError::transient(
+                    "internal-panic",
+                    format!(
+                        "request handler panicked: {}",
+                        crate::fault::panic_message(&*payload)
+                    ),
+                    Some(shared.retry_hint(0)),
+                )
+                .render(&job.id)
+            }
+        };
+        shared.observe_service_ms(started.elapsed().as_millis() as u64);
+        write_line(&job.writer, &response);
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    // A vanished client is not an error worth anything but moving on.
+    let _ = w.write_all(line.as_bytes()).and_then(|()| w.write_all(b"\n"));
+    let _ = w.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Connection reader: framing, parsing, admission
+// ---------------------------------------------------------------------------
+
+enum LineRead {
+    Eof,
+    Line(Vec<u8>),
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than `max`
+/// bytes — network input must not size our memory.
+fn read_bounded_line(r: &mut BufReader<TcpStream>, max: usize) -> std::io::Result<LineRead> {
+    let mut line = Vec::new();
+    loop {
+        let buf = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(if line.is_empty() { LineRead::Eof } else { LineRead::Line(line) });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max {
+                    r.consume(pos + 1);
+                    return Ok(LineRead::TooLong);
+                }
+                line.extend_from_slice(&buf[..pos]);
+                r.consume(pos + 1);
+                return Ok(LineRead::Line(line));
+            }
+            None => {
+                let take = buf.len();
+                if line.len() + take > max {
+                    r.consume(take);
+                    return Ok(LineRead::TooLong);
+                }
+                line.extend_from_slice(buf);
+                r.consume(take);
+            }
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_bounded_line(&mut reader, shared.cfg.max_request_bytes) {
+            Ok(LineRead::Eof) | Err(_) => return,
+            Ok(LineRead::TooLong) => {
+                shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::permanent(
+                    "request-too-large",
+                    format!("request line exceeds {} bytes", shared.cfg.max_request_bytes),
+                );
+                write_line(&writer, &err.render("null"));
+                // A line protocol cannot resynchronize after an oversized
+                // line; close rather than misparse.
+                return;
+            }
+            Ok(LineRead::Line(bytes)) => {
+                if bytes.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue;
+                }
+                handle_line(shared, &writer, &bytes);
+            }
+        }
+    }
+}
+
+/// Parses, validates, and either answers inline (control ops, rejections,
+/// malformed input) or admits the request to the work queue.
+fn handle_line(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, bytes: &[u8]) {
+    let invalid = |err: ServiceError, id: &str| {
+        shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
+        write_line(writer, &err.render(id));
+    };
+    let text = match std::str::from_utf8(bytes) {
+        Ok(t) => t,
+        Err(_) => {
+            return invalid(
+                ServiceError::permanent("bad-json", "request is not valid UTF-8"),
+                "null",
+            )
+        }
+    };
+    let doc = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return invalid(
+                ServiceError::permanent("bad-json", format!("malformed request: {e}")),
+                "null",
+            )
+        }
+    };
+    let id = doc.get("id").map_or_else(|| "null".to_string(), json::Value::to_text);
+    let op = match doc.get("op").and_then(json::Value::as_str) {
+        Some(op) => op,
+        None => {
+            return invalid(
+                ServiceError::permanent("bad-request", "missing string field `op`"),
+                &id,
+            )
+        }
+    };
+    match op {
+        "ping" => write_line(writer, &format!("{{\"id\": {id}, \"ok\": true, \"op\": \"pong\"}}")),
+        "stats" => write_line(writer, &render_stats(shared, &id)),
+        "validate" => match parse_validate(&doc) {
+            Ok(line) => write_line(writer, &format!("{{\"id\": {id}, \"ok\": true, {line}}}")),
+            Err(err) => invalid(err, &id),
+        },
+        "evaluate" | "search" => {
+            let work = match parse_work(shared, op, &doc) {
+                Ok(w) => w,
+                Err(err) => return invalid(err, &id),
+            };
+            admit(shared, writer, Job { id, work, writer: Arc::clone(writer) });
+        }
+        other => invalid(
+            ServiceError::permanent("bad-request", format!("unknown op `{other}`")),
+            &id,
+        ),
+    }
+}
+
+/// Admission control: bounded queue, explicit backpressure, drain refusal.
+fn admit(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, job: Job) {
+    let rejection = {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.should_drain() {
+            shared.counters.rejected_draining.fetch_add(1, Ordering::Relaxed);
+            Some(ServiceError::transient(
+                "draining",
+                "daemon is draining; retry against a healthy instance",
+                Some(1_000),
+            )
+            .render(&job.id))
+        } else if q.len() >= shared.cfg.queue_capacity {
+            shared.counters.rejected_overload.fetch_add(1, Ordering::Relaxed);
+            let hint = shared.retry_hint(q.len());
+            Some(ServiceError::transient(
+                "overloaded",
+                format!(
+                    "admission queue is full ({} queued, capacity {})",
+                    q.len(),
+                    shared.cfg.queue_capacity
+                ),
+                Some(hint),
+            )
+            .render(&job.id))
+        } else {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            q.push_back(job);
+            shared.queue_cv.notify_one();
+            None
+        }
+    };
+    if let Some(line) = rejection {
+        write_line(writer, &line);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request validation (the crates/spec ingestion path)
+// ---------------------------------------------------------------------------
+
+fn parse_validate(doc: &json::Value) -> Result<String, ServiceError> {
+    let text = doc
+        .get("spec")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| ServiceError::permanent("bad-request", "validate needs a string `spec`"))?;
+    match spec::parse_any(text)
+        .map_err(|e| ServiceError::permanent("bad-spec", e.to_string()))?
+    {
+        spec::Spec::Arch(a) => Ok(format!(
+            "\"kind\": \"arch\", \"name\": {}, \"levels\": {}",
+            json::escape(a.name()),
+            a.num_levels()
+        )),
+        spec::Spec::Problem(p) => Ok(format!(
+            "\"kind\": \"problem\", \"name\": {}, \"macs\": {}",
+            json::escape(p.name()),
+            p.total_macs()
+        )),
+    }
+}
+
+fn parse_problem_field(doc: &json::Value) -> Result<Problem, ServiceError> {
+    if let Some(spec_line) = doc.get("problem").and_then(json::Value::as_str) {
+        return problem::codec::from_spec(spec_line)
+            .map_err(|e| ServiceError::permanent("bad-spec", format!("problem: {e}")));
+    }
+    if let Some(toml) = doc.get("problem_toml").and_then(json::Value::as_str) {
+        return spec::parse_problem(toml)
+            .map_err(|e| ServiceError::permanent("bad-spec", format!("problem_toml: {e}")));
+    }
+    Err(ServiceError::permanent(
+        "bad-request",
+        "need `problem` (codec one-liner) or `problem_toml` (TOML spec)",
+    ))
+}
+
+fn parse_arch_field(doc: &json::Value) -> Result<Arch, ServiceError> {
+    if let Some(toml) = doc.get("arch_toml").and_then(json::Value::as_str) {
+        return spec::parse_arch(toml)
+            .map_err(|e| ServiceError::permanent("bad-spec", format!("arch_toml: {e}")));
+    }
+    match doc.get("arch").and_then(json::Value::as_str).unwrap_or("accel-b") {
+        "accel-a" => Ok(Arch::accel_a()),
+        "accel-b" => Ok(Arch::accel_b()),
+        other => Err(ServiceError::permanent(
+            "bad-request",
+            format!("unknown arch `{other}` (accel-a | accel-b, or pass arch_toml)"),
+        )),
+    }
+}
+
+fn parse_density_fields(doc: &json::Value) -> Result<Option<Density>, ServiceError> {
+    let get = |key: &str| -> Result<f64, ServiceError> {
+        match doc.get(key) {
+            None | Some(json::Value::Null) => Ok(1.0),
+            Some(v) => v.as_f64().ok_or_else(|| {
+                ServiceError::permanent("bad-request", format!("`{key}` must be a number"))
+            }),
+        }
+    };
+    let dw = get("weight_density")?;
+    let da = get("input_density")?;
+    if !(dw > 0.0 && dw <= 1.0 && da > 0.0 && da <= 1.0) {
+        return Err(ServiceError::permanent("bad-request", "densities must be in (0, 1]"));
+    }
+    if dw == 1.0 && da == 1.0 {
+        Ok(None)
+    } else {
+        Ok(Some(Density { weight: dw, input: da }))
+    }
+}
+
+fn parse_work(shared: &Shared, op: &str, doc: &json::Value) -> Result<Work, ServiceError> {
+    let problem = parse_problem_field(doc)?;
+    let arch = parse_arch_field(doc)?;
+    let density = parse_density_fields(doc)?;
+    // An unmappable pairing would burn a whole deadline discovering there
+    // is nothing to find; reject it at admission instead.
+    let space = mapping::MapSpace::new(problem.clone(), arch.clone());
+    if !space.is_mappable() {
+        return Err(ServiceError::permanent(
+            "unmappable",
+            format!("problem `{}` cannot be mapped onto `{}`", problem.name(), arch.name()),
+        ));
+    }
+    match op {
+        "evaluate" => {
+            let spec_text = doc.get("mapping").and_then(json::Value::as_str).ok_or_else(|| {
+                ServiceError::permanent("bad-request", "evaluate needs a string `mapping`")
+            })?;
+            let mapping = mapping::codec::from_spec(spec_text.trim())
+                .map_err(|e| ServiceError::permanent("bad-spec", format!("mapping: {e}")))?;
+            Ok(Work::Evaluate { problem, arch, density, mapping })
+        }
+        _ => {
+            let mapper = doc
+                .get("mapper")
+                .and_then(json::Value::as_str)
+                .unwrap_or("gamma")
+                .to_string();
+            if mapper_by_name(&mapper, shared.cfg.fault_injection).is_none() {
+                return Err(ServiceError::permanent(
+                    "bad-request",
+                    format!("unknown mapper `{mapper}`"),
+                ));
+            }
+            let samples = match doc.get("samples") {
+                None | Some(json::Value::Null) => 2_000,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ServiceError::permanent("bad-request", "`samples` must be a non-negative integer")
+                })? as usize,
+            };
+            let deadline_ms = match doc.get("deadline_ms") {
+                None | Some(json::Value::Null) => shared.cfg.default_deadline_ms,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    ServiceError::permanent("bad-request", "`deadline_ms` must be a non-negative integer")
+                })?),
+            };
+            if deadline_ms == Some(0) {
+                return Err(ServiceError::permanent("bad-request", "`deadline_ms` must be positive"));
+            }
+            let seed = match doc.get("seed") {
+                None | Some(json::Value::Null) => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ServiceError::permanent("bad-request", "`seed` must be a non-negative integer")
+                })?,
+            };
+            let retries = match doc.get("retries") {
+                None | Some(json::Value::Null) => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ServiceError::permanent("bad-request", "`retries` must be a non-negative integer")
+                })? as usize,
+            };
+            Ok(Work::Search {
+                problem,
+                arch,
+                density,
+                mapper,
+                samples,
+                deadline: deadline_ms.map(Duration::from_millis),
+                seed,
+                retries,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request execution (on the worker threads)
+// ---------------------------------------------------------------------------
+
+/// A mapper that panics mid-search — the fault-injection hook behind
+/// [`ServeConfig::fault_injection`], for proving panic isolation across
+/// the wire.
+struct PanicInjector;
+
+impl Mapper for PanicInjector {
+    fn name(&self) -> &str {
+        "panic-injector"
+    }
+
+    fn search(
+        &self,
+        _space: &mapping::MapSpace,
+        _evaluator: &dyn mappers::Evaluator,
+        _budget: Budget,
+        _rng: &mut rand::rngs::SmallRng,
+    ) -> mappers::SearchResult {
+        panic!("injected service fault");
+    }
+}
+
+/// A mapper that never looks at its budget — the watchdog's sample cap or
+/// hard deadline is the only thing that stops it. Fault-injection hook for
+/// proving deadline salvage (`"degraded": true`) across the wire.
+struct DeadlineIgnorer;
+
+impl Mapper for DeadlineIgnorer {
+    fn name(&self) -> &str {
+        "deadline-ignorer"
+    }
+
+    fn search(
+        &self,
+        space: &mapping::MapSpace,
+        evaluator: &dyn mappers::Evaluator,
+        _budget: Budget,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> mappers::SearchResult {
+        loop {
+            let batch: Vec<Mapping> = (0..64).map(|_| space.random(rng)).collect();
+            let _ = evaluator.evaluate_batch(&batch);
+        }
+    }
+}
+
+/// Mapper factory shared by request validation and execution.
+fn mapper_by_name(name: &str, fault_injection: bool) -> Option<Box<dyn Mapper>> {
+    Some(match name {
+        "gamma" => Box::new(Gamma::new()),
+        "random" => Box::new(RandomMapper::new()),
+        "random-pruned" => Box::new(RandomPruned::new()),
+        "standard-ga" => Box::new(StandardGa::new()),
+        "annealing" => Box::new(SimulatedAnnealing::new()),
+        "hill-climb" => Box::new(HillClimb::new()),
+        "cem" => Box::new(CrossEntropy::new()),
+        "reinforce" => Box::new(Reinforce::new()),
+        "exhaustive" => Box::new(Exhaustive::new()),
+        "panic-injector" if fault_injection => Box::new(PanicInjector),
+        "deadline-ignorer" if fault_injection => Box::new(DeadlineIgnorer),
+        _ => return None,
+    })
+}
+
+fn model_key(problem: &Problem, arch: &Arch, density: Option<Density>, guard: Option<GuardPolicy>) -> String {
+    // The arch's Debug form pins every capacity/energy/fanout, so two
+    // different TOML archs sharing a display name cannot share a cache.
+    format!(
+        "{}|{:?}|{:?}|{:?}",
+        problem::codec::to_spec(problem),
+        arch,
+        density,
+        guard
+    )
+}
+
+fn make_model(problem: &Problem, arch: &Arch, density: Option<Density>) -> Box<dyn CostModel> {
+    match density {
+        Some(d) => Box::new(SparseModel::new(
+            problem.clone(),
+            arch.clone(),
+            arch::SparseCaps::flexible(),
+            d,
+        )),
+        None => Box::new(DenseModel::new(problem.clone(), arch.clone())),
+    }
+}
+
+fn guard_config(policy: GuardPolicy, density: Option<Density>) -> GuardConfig {
+    match density {
+        Some(d) => GuardConfig::sparse(policy, &arch::SparseCaps::flexible(), d),
+        None => GuardConfig::new(policy),
+    }
+}
+
+fn execute(shared: &Arc<Shared>, job: &Job) -> String {
+    match &job.work {
+        Work::Evaluate { problem, arch, density, mapping } => {
+            execute_evaluate(shared, &job.id, problem, arch, *density, mapping)
+        }
+        Work::Search { problem, arch, density, mapper, samples, deadline, seed, retries } => {
+            execute_search(
+                shared, &job.id, problem, arch, *density, mapper, *samples, *deadline, *seed,
+                *retries,
+            )
+        }
+    }
+}
+
+fn execute_evaluate(
+    shared: &Arc<Shared>,
+    id: &str,
+    problem: &Problem,
+    arch: &Arch,
+    density: Option<Density>,
+    mapping: &Mapping,
+) -> String {
+    let model = make_model(problem, arch, density);
+    let breakdown = match shared.cfg.guard {
+        Some(gp) => {
+            let guarded = GuardedModel::new(model, guard_config(gp, density));
+            let out = guarded.evaluate_detailed(mapping);
+            let report = guarded.report();
+            shared.guard_violations.fetch_add(report.violations, Ordering::Relaxed);
+            shared.guard_rejections.fetch_add(report.rejections, Ordering::Relaxed);
+            out
+        }
+        None => model.evaluate_detailed(mapping),
+    };
+    match breakdown {
+        Ok(b) => format!(
+            "{{\"id\": {id}, \"ok\": true, \"score\": {}, \"latency_cycles\": {}, \
+             \"energy_uj\": {}, \"lanes\": {}}}",
+            json::num(b.cost.edp()),
+            json::num(b.cost.latency_cycles),
+            json::num(b.cost.energy_uj),
+            b.lanes
+        ),
+        Err(e) => {
+            ServiceError::permanent("illegal-mapping", e.to_string()).render(id)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_search(
+    shared: &Arc<Shared>,
+    id: &str,
+    problem: &Problem,
+    arch: &Arch,
+    density: Option<Density>,
+    mapper_name: &str,
+    samples: usize,
+    deadline: Option<Duration>,
+    seed: u64,
+    retries: usize,
+) -> String {
+    let Some(mapper) = mapper_by_name(mapper_name, shared.cfg.fault_injection) else {
+        return ServiceError::permanent("bad-request", format!("unknown mapper `{mapper_name}`"))
+            .render(id);
+    };
+    let model = make_model(problem, arch, density);
+    // The budget tells the mapper to aim for 90% of the deadline; the
+    // watchdog's hard deadline is the deadline itself. A well-behaved
+    // mapper finishes early and undegraded; anything else is stopped and
+    // its shadow incumbent salvaged.
+    let budget = Budget {
+        max_samples: Some(samples),
+        max_time: deadline.map(|d| d.mul_f64(0.9)),
+    };
+    let policy = RunPolicy::with_retries(retries)
+        .with_eval(shared.cfg.eval)
+        .with_deadline(deadline.map(|d| Instant::now() + d));
+    let cache = shared.cache_for(model_key(problem, arch, density, shared.cfg.guard));
+    let cache_before = cache.stats();
+    let outcome = match shared.cfg.guard {
+        Some(gp) => {
+            let guarded = GuardedModel::new(model, guard_config(gp, density));
+            let evaluator = EdpEvaluator::new(&guarded);
+            let rejections_before = guarded.report().rejections;
+            let outcome = Mse::new(&guarded).run_resilient_shared(
+                mapper.as_ref(),
+                &evaluator,
+                budget,
+                seed,
+                policy,
+                Some(&guarded),
+                &shared.pool,
+                &cache,
+            );
+            let report = guarded.report();
+            shared.guard_violations.fetch_add(report.violations, Ordering::Relaxed);
+            shared
+                .guard_rejections
+                .fetch_add(report.rejections.saturating_sub(rejections_before), Ordering::Relaxed);
+            outcome
+        }
+        None => {
+            let evaluator = EdpEvaluator::new(model.as_ref());
+            Mse::new(model.as_ref()).run_resilient_shared(
+                mapper.as_ref(),
+                &evaluator,
+                budget,
+                seed,
+                policy,
+                None,
+                &shared.pool,
+                &cache,
+            )
+        }
+    };
+    let status = match outcome.status {
+        RunStatus::Succeeded => "succeeded",
+        RunStatus::Recovered => "recovered",
+        RunStatus::WatchdogStopped => "watchdog-stopped",
+        RunStatus::Failed => "failed",
+    };
+    match outcome.result.as_ref().and_then(|r| r.best.as_ref().map(|b| (r, b))) {
+        Some((r, (best, cost))) => {
+            // A salvaged incumbent (deadline or budget stop, or retries
+            // exhausted with partial state) is an answer, just an honest
+            // one: flagged degraded rather than dressed up as converged.
+            let degraded =
+                matches!(outcome.status, RunStatus::WatchdogStopped | RunStatus::Failed);
+            if degraded {
+                shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            let after = cache.stats();
+            format!(
+                "{{\"id\": {id}, \"ok\": true, \"degraded\": {degraded}, \"status\": \"{status}\", \
+                 \"score\": {}, \"latency_cycles\": {}, \"energy_uj\": {}, \"mapping\": {}, \
+                 \"evaluated\": {}, \"elapsed_ms\": {}, \"attempts\": {}, \"cache_hits\": {}}}",
+                json::num(r.best_score),
+                json::num(cost.latency_cycles),
+                json::num(cost.energy_uj),
+                json::escape(&mapping::codec::to_spec(best)),
+                r.evaluated,
+                r.elapsed.as_millis(),
+                outcome.attempts.len(),
+                after.hits.saturating_sub(cache_before.hits),
+            )
+        }
+        None => {
+            let last_error = outcome.attempts.iter().rev().find_map(|a| a.error.as_ref());
+            run_error_response(shared, last_error).render(id)
+        }
+    }
+}
+
+/// Maps the runtime's [`RunError`] taxonomy onto the wire taxonomy.
+fn run_error_response(shared: &Shared, error: Option<&RunError>) -> ServiceError {
+    let hint = Some(shared.retry_hint(0));
+    match error {
+        Some(RunError::MapperPanicked { message }) => ServiceError::transient(
+            "mapper-panicked",
+            format!("mapper panicked on every attempt: {message}"),
+            hint,
+        ),
+        Some(RunError::BudgetOverrun { evaluated }) => ServiceError::transient(
+            "deadline-exceeded",
+            format!(
+                "deadline expired after {evaluated} evaluations with no legal mapping found; \
+                 retry with a longer deadline"
+            ),
+            hint,
+        ),
+        Some(RunError::NonFiniteScore { score }) => ServiceError::transient(
+            "non-finite-score",
+            format!("search returned non-finite best score {score}"),
+            hint,
+        ),
+        Some(RunError::NoLegalMapping) => ServiceError::permanent(
+            "no-legal-mapping",
+            "search evaluated no legal mapping in this space",
+        ),
+        Some(e @ RunError::InvariantViolation { .. }) => {
+            ServiceError::permanent("invariant-violation", e.to_string())
+        }
+        None => ServiceError::transient("internal", "search produced no result", hint),
+    }
+}
+
+fn render_stats(shared: &Arc<Shared>, id: &str) -> String {
+    let c = &shared.counters;
+    let queue_depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let cache = shared.cache_totals();
+    let models = shared.caches.lock().unwrap_or_else(|e| e.into_inner()).map.len();
+    format!(
+        "{{\"id\": {id}, \"ok\": true, \"uptime_ms\": {}, \"draining\": {}, \
+         \"queue_depth\": {queue_depth}, \"queue_capacity\": {}, \"workers\": {}, \
+         \"connections\": {}, \"accepted\": {}, \"completed\": {}, \
+         \"rejected_overload\": {}, \"rejected_draining\": {}, \"degraded\": {}, \
+         \"request_panics\": {}, \"invalid\": {}, \"models_cached\": {models}, \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"evictions\": {}}}, \
+         \"guard\": {{\"violations\": {}, \"rejections\": {}}}}}",
+        shared.started.elapsed().as_millis(),
+        shared.should_drain(),
+        shared.cfg.queue_capacity,
+        shared.cfg.resolved_workers(),
+        c.connections.load(Ordering::Relaxed),
+        c.accepted.load(Ordering::Relaxed),
+        c.completed.load(Ordering::Relaxed),
+        c.rejected_overload.load(Ordering::Relaxed),
+        c.rejected_draining.load(Ordering::Relaxed),
+        c.degraded.load(Ordering::Relaxed),
+        c.request_panics.load(Ordering::Relaxed),
+        c.invalid.load(Ordering::Relaxed),
+        cache.hits,
+        cache.misses,
+        cache.inserts,
+        cache.evictions,
+        shared.guard_violations.load(Ordering::Relaxed),
+        shared.guard_rejections.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rendering_carries_taxonomy() {
+        let e = ServiceError::transient("overloaded", "queue full", Some(250));
+        let line = e.render("7");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("transient"));
+        assert_eq!(err.get("retry_after_ms").unwrap().as_u64(), Some(250));
+        let p = ServiceError::permanent("bad-spec", "nope").render("null");
+        let v = json::parse(&p).unwrap();
+        assert_eq!(v.get("error").unwrap().get("kind").unwrap().as_str(), Some("permanent"));
+    }
+
+    #[test]
+    fn mapper_factory_gates_fault_injection() {
+        assert!(mapper_by_name("gamma", false).is_some());
+        assert!(mapper_by_name("panic-injector", false).is_none());
+        assert!(mapper_by_name("panic-injector", true).is_some());
+        assert!(mapper_by_name("nope", true).is_none());
+    }
+
+    #[test]
+    fn model_keys_distinguish_arch_and_density() {
+        let p = Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3);
+        let a = Arch::accel_a();
+        let b = Arch::accel_b();
+        let d = Some(Density { weight: 0.5, input: 1.0 });
+        let k1 = model_key(&p, &a, None, Some(GuardPolicy::Reject));
+        let k2 = model_key(&p, &b, None, Some(GuardPolicy::Reject));
+        let k3 = model_key(&p, &b, d, Some(GuardPolicy::Reject));
+        let k4 = model_key(&p, &b, None, None);
+        assert!(k1 != k2 && k2 != k3 && k2 != k4);
+    }
+}

@@ -231,6 +231,11 @@ fn parse_value(raw: &str, line: usize) -> Result<RawValue, SpecError> {
 }
 
 fn parse_doc(text: &str) -> Result<Doc, SpecError> {
+    // Specs now also arrive over the network (`mapex serve`'s validate /
+    // `*_toml` request fields) and from Windows editors: tolerate a
+    // leading UTF-8 BOM rather than reporting a confusing `bad key` on
+    // line 1. (`lines()` already absorbs CRLF endings.)
+    let text = text.strip_prefix('\u{feff}').unwrap_or(text);
     let mut doc = Doc::default();
     let mut in_section = false;
     for (i, raw_line) in text.lines().enumerate() {
@@ -865,5 +870,21 @@ S = 3
         )
         .expect("valid by construction");
         assert_eq!(a, by_hand);
+    }
+
+    #[test]
+    fn leading_bom_and_crlf_are_tolerated() {
+        // Network clients and Windows editors both produce these; neither
+        // changes the spec's meaning.
+        let plain = "kind = \"problem\"\nname = \"g\"\nop = \"GEMM\"\n\
+                     [dims]\nB = 2\nM = 8\nK = 8\nN = 8\n";
+        let bom = format!("\u{feff}{plain}");
+        let crlf = plain.replace('\n', "\r\n");
+        let want = parse_problem(plain).expect("plain parses");
+        assert_eq!(parse_problem(&bom).expect("BOM parses").name(), want.name());
+        assert_eq!(parse_problem(&crlf).expect("CRLF parses").name(), want.name());
+        // A BOM anywhere *else* is still garbage, with a line number.
+        let mid = plain.replace("op =", "\u{feff}op =");
+        assert!(matches!(parse_problem(&mid), Err(SpecError::Parse { line: 3, .. })));
     }
 }
