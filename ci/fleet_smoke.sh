@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# CI smoke test for the `mapex serve` fleet: boot one coordinator and two
+# workers, shard a checkpointed sweep across them, SIGKILL one worker
+# mid-sweep (its shards must be re-dispatched and every layer accounted
+# exactly once), then SIGTERM the survivors and assert clean exits. Uses
+# only the mapex binary itself (`mapex request`) as the client.
+set -euo pipefail
+
+MAPEX="${MAPEX:-target/release/mapex}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"; for P in "${COORD:-}" "${W1:-}" "${W2:-}"; do [ -n "$P" ] && kill -9 "$P" 2>/dev/null || true; done' EXIT
+
+fail() { echo "fleet_smoke: FAIL: $*" >&2; exit 1; }
+
+addr_of() { # addr_of <logfile> <pid>
+    local log="$1" pid="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$log" | head -n1)"
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        kill -0 "$pid" 2>/dev/null || fail "daemon died during boot: $(cat "$log")"
+        sleep 0.1
+    done
+    fail "daemon never printed its address: $(cat "$log")"
+}
+
+# --- boot: 1 coordinator + 2 workers (fast failure-detection timings) ---
+# Daemons are backgrounded in this shell (not a substitution) so `wait`
+# can reap their exit codes after the SIGTERM drain.
+mkdir -p "$OUT/ckpt"
+"$MAPEX" serve --addr 127.0.0.1:0 --coordinator --workers 1 \
+    --checkpoint-dir "$OUT/ckpt" --heartbeat-ms 100 --lease-ms 500 --fault-injection \
+    > "$OUT/coord.log" 2>&1 &
+COORD=$!
+ADDR="$(addr_of "$OUT/coord.log" "$COORD")"
+echo "fleet_smoke: coordinator at $ADDR (pid $COORD)"
+
+# Workers dawdle 200ms per shard so the SIGKILL lands mid-shard.
+"$MAPEX" serve --addr 127.0.0.1:0 --worker "$ADDR" --workers 1 \
+    --shard-delay-ms 200 --fault-injection > "$OUT/w1.log" 2>&1 &
+W1=$!
+"$MAPEX" serve --addr 127.0.0.1:0 --worker "$ADDR" --workers 1 \
+    --shard-delay-ms 200 --fault-injection > "$OUT/w2.log" 2>&1 &
+W2=$!
+
+req() { "$MAPEX" request --addr "$ADDR" --timeout 120 --max-retries 2 "$1"; }
+
+for _ in $(seq 1 100); do
+    HEALTH="$(req '{"id": 0, "op": "health"}')"
+    echo "$HEALTH" | grep -q '"workers_connected": 2' && break
+    sleep 0.1
+done
+echo "$HEALTH" | grep -q '"workers_connected": 2' || fail "workers never registered: $HEALTH"
+echo "$HEALTH" | grep -q '"role": "coordinator"' || fail "health misreports role: $HEALTH"
+echo "fleet_smoke: 2 workers registered"
+
+# --- sharded sweep, then SIGKILL one worker mid-sweep -------------------
+LAYERS='"GEMM;l0;B=2,M=16,K=16,N=16", "GEMM;l1;B=2,M=16,K=24,N=16", "GEMM;l2;B=2,M=16,K=32,N=16", "GEMM;l3;B=2,M=24,K=16,N=16", "GEMM;l4;B=2,M=24,K=24,N=16", "GEMM;l5;B=2,M=24,K=32,N=16"'
+req "{\"id\": 1, \"op\": \"sweep\", \"layers\": [$LAYERS], \"mapper\": \"random\", \"samples\": 200, \"seed\": 7, \"checkpoint\": \"smoke.ckpt\"}" \
+    > "$OUT/sweep.json" &
+SWEEP=$!
+sleep 0.4
+kill -9 "$W2"
+echo "fleet_smoke: SIGKILLed worker 2 (pid $W2) mid-sweep"
+wait "$SWEEP" || fail "sweep client got no response"
+
+SWEEP_JSON="$(cat "$OUT/sweep.json")"
+echo "$SWEEP_JSON" | grep -q '"ok": true' || fail "sweep not ok: $SWEEP_JSON"
+echo "$SWEEP_JSON" | grep -q '"layers_total": 6' || fail "wrong layer total: $SWEEP_JSON"
+NAMED="$(echo "$SWEEP_JSON" | grep -o '"name": "l[0-9]"' | sort -u | wc -l)"
+[ "$NAMED" -eq 6 ] || fail "expected all 6 layers exactly once, saw $NAMED: $SWEEP_JSON"
+echo "$SWEEP_JSON" | grep -q '"mapping": "' || fail "layers carry no mappings: $SWEEP_JSON"
+echo "fleet_smoke: sweep survived the worker kill, all 6 layers accounted"
+
+# The rolling checkpoint kept exactly one backup — no .bak accumulation.
+[ -f "$OUT/ckpt/smoke.ckpt" ] || fail "checkpoint file missing"
+STRAYS="$(find "$OUT/ckpt" -type f | grep -cv -e 'smoke\.ckpt$' -e 'smoke\.ckpt\.bak$')" || true
+[ "$STRAYS" -eq 0 ] || fail "stray files in checkpoint dir: $(ls "$OUT/ckpt")"
+
+HEALTH="$(req '{"id": 2, "op": "health"}')"
+echo "$HEALTH" | grep -q '"workers_connected": 1' || fail "dead worker still counted: $HEALTH"
+echo "fleet_smoke: coordinator sees 1 surviving worker"
+
+# --- SIGTERM both survivors: graceful drains, exit 0 --------------------
+for NAME in coordinator worker; do
+    case "$NAME" in coordinator) P="$COORD";; worker) P="$W1";; esac
+    kill -TERM "$P"
+    DRAIN_DEADLINE=$((SECONDS + 30))
+    while kill -0 "$P" 2>/dev/null; do
+        [ "$SECONDS" -lt "$DRAIN_DEADLINE" ] || fail "$NAME did not drain within 30s"
+        sleep 0.2
+    done
+    wait "$P" && RC=0 || RC=$?
+    [ "$RC" -eq 0 ] || fail "$NAME exited $RC after SIGTERM (want 0)"
+    echo "fleet_smoke: $NAME drained cleanly"
+done
+COORD=""; W1=""; W2=""
+echo "fleet_smoke: PASS"

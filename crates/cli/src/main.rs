@@ -92,6 +92,26 @@ serve/request options:
   --max-models N         serve: distinct model caches kept warm (default 32)
   --fault-injection      serve: accept the `panic-injector` test mapper
                          (for exercising panic isolation; never production)
+  --coordinator          serve: act as fleet coordinator — shard sweep and
+                         island-search requests across registered workers
+  --worker ADDR          serve: act as a fleet worker executing shards for
+                         the coordinator at ADDR (reconnects with backoff)
+  --heartbeat-ms N       serve: worker heartbeat interval (default 500)
+  --lease-ms N           serve: coordinator lease — a worker silent longer
+                         than this loses its shards to re-dispatch
+                         (default 2500)
+  --steal-after-ms N     serve: re-issue a straggling shard to an idle
+                         worker after this long; first answer wins
+                         (default 3000)
+  --shard-slots N        serve: concurrent shards per worker (default 2)
+  --shard-delay-ms N     serve: delay each worker shard by N ms (straggler
+                         injection; requires --fault-injection)
+  --checkpoint-dir DIR   serve: directory for named sweep checkpoints —
+                         enables \"checkpoint\"/\"resume\" in sweep requests
+  --max-retries N        request: retry transient failures — overloaded /
+                         draining responses, connect errors, empty replies —
+                         with capped jittered exponential backoff honoring
+                         the daemon's retry_after_ms hint (default 0)
 
 exit codes:
   0  success
@@ -639,6 +659,26 @@ fn cmd_bench_throughput(args: &Args) -> Result<(), CliError> {
 /// so scripts can bind port 0 and discover the port.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let deadline_ms: u64 = args.get_num("deadline-ms", 30_000).map_err(input)?;
+    let role = match (args.flag("coordinator"), args.get("worker")) {
+        (true, Some(_)) => {
+            return Err(input("--coordinator and --worker are mutually exclusive"));
+        }
+        (true, None) => mse::ServeRole::Coordinator,
+        (false, Some(addr)) => mse::ServeRole::Worker { coordinator: addr.to_string() },
+        (false, None) => mse::ServeRole::Standalone,
+    };
+    let defaults = mse::FleetConfig::default();
+    let fleet = mse::FleetConfig {
+        heartbeat_ms: args.get_num("heartbeat-ms", defaults.heartbeat_ms).map_err(input)?,
+        lease_ms: args.get_num("lease-ms", defaults.lease_ms).map_err(input)?,
+        steal_after_ms: args.get_num("steal-after-ms", defaults.steal_after_ms).map_err(input)?,
+        shard_slots: args.get_num("shard-slots", defaults.shard_slots).map_err(input)?,
+        shard_delay_ms: args.get_num("shard-delay-ms", defaults.shard_delay_ms).map_err(input)?,
+        ..defaults
+    };
+    if fleet.heartbeat_ms == 0 || fleet.lease_ms <= fleet.heartbeat_ms {
+        return Err(input("--lease-ms must exceed --heartbeat-ms (and both must be nonzero)"));
+    }
     let cfg = mse::ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:7070").to_string(),
         workers: args.get_num("workers", 2).map_err(input)?,
@@ -648,6 +688,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         guard: parse_guard(args)?,
         max_models: args.get_num("max-models", 32).map_err(input)?,
         fault_injection: args.flag("fault-injection"),
+        role,
+        fleet,
+        checkpoint_dir: args.get("checkpoint-dir").map(std::path::PathBuf::from),
         ..mse::ServeConfig::default()
     };
     mse::service::install_drain_signal_handlers();
@@ -673,10 +716,21 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
 /// prints the response line. The request body is the first positional
 /// argument, or stdin when it is `-` or absent. Exits 0 whenever a
 /// response line was received (including structured error responses — the
-/// taxonomy is in the JSON, for scripts to inspect).
+/// taxonomy is in the JSON, for scripts to inspect). With `--max-retries`,
+/// transient failures — `overloaded`/`draining` responses, connect errors,
+/// empty replies — are retried with capped jittered exponential backoff,
+/// honoring the daemon's `retry_after_ms` hint; the final failure keeps
+/// the exit code it would have had without retries.
 fn cmd_request(args: &Args) -> Result<(), CliError> {
-    use std::io::{BufRead, Write};
     let addr = args.get("addr").ok_or_else(|| input("--addr is required"))?;
+    let max_retries: u32 = args.get_num("max-retries", 0).map_err(input)?;
+    let timeout = match args.get("timeout") {
+        Some(t) => {
+            let secs: f64 = t.parse().map_err(|_| input("--timeout: bad value"))?;
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+        None => None,
+    };
     let body = match args.positionals.first().map(String::as_str) {
         Some("-") | None => {
             let mut text = String::new();
@@ -690,11 +744,55 @@ fn cmd_request(args: &Args) -> Result<(), CliError> {
     if body.is_empty() || body.contains('\n') {
         return Err(input("request body must be exactly one nonempty JSON line"));
     }
+    let mut attempt: u32 = 0;
+    loop {
+        let retriable = attempt < max_retries;
+        match request_once(addr, body, timeout) {
+            Ok(line) => {
+                if retriable {
+                    if let Some(hint) = transient_retry_hint(&line) {
+                        let delay = backoff_delay(attempt, hint);
+                        eprintln!(
+                            "transient response (attempt {}/{}); retrying in {}ms",
+                            attempt + 1,
+                            max_retries + 1,
+                            delay.as_millis()
+                        );
+                        std::thread::sleep(delay);
+                        attempt += 1;
+                        continue;
+                    }
+                }
+                println!("{line}");
+                return Ok(());
+            }
+            Err(e) if retriable => {
+                let delay = backoff_delay(attempt, None);
+                eprintln!(
+                    "request failed: {} (attempt {}/{}); retrying in {}ms",
+                    e.message(),
+                    attempt + 1,
+                    max_retries + 1,
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One connect → send → receive round trip against the daemon.
+fn request_once(
+    addr: &str,
+    body: &str,
+    timeout: Option<std::time::Duration>,
+) -> Result<String, CliError> {
+    use std::io::{BufRead, Write};
     let mut stream = std::net::TcpStream::connect(addr)
         .map_err(|e| input(format!("connect {addr}: {e}")))?;
-    if let Some(t) = args.get("timeout") {
-        let secs: f64 = t.parse().map_err(|_| input("--timeout: bad value"))?;
-        let dur = std::time::Duration::from_secs_f64(secs);
+    if let Some(dur) = timeout {
         stream.set_read_timeout(Some(dur)).map_err(input)?;
     }
     stream
@@ -710,8 +808,47 @@ fn cmd_request(args: &Args) -> Result<(), CliError> {
             "daemon closed the connection without responding".to_string(),
         ));
     }
-    println!("{}", line.trim_end());
-    Ok(())
+    Ok(line.trim_end().to_string())
+}
+
+/// Returns `Some(retry_after_ms)` when the response line is a structured
+/// transient error worth retrying (`overloaded` / `draining`); other
+/// responses — success, permanent errors, transient errors a retry cannot
+/// help (e.g. a worker-side deadline) — are final.
+fn transient_retry_hint(line: &str) -> Option<Option<u64>> {
+    let v = mse::json::parse(line).ok()?;
+    if v.get("ok")?.as_bool()? {
+        return None;
+    }
+    let err = v.get("error")?;
+    if err.get("kind")?.as_str()? != "transient" {
+        return None;
+    }
+    match err.get("code")?.as_str()? {
+        "overloaded" | "draining" => {
+            Some(err.get("retry_after_ms").and_then(mse::json::Value::as_u64))
+        }
+        _ => None,
+    }
+}
+
+/// Capped jittered exponential backoff: `max(hint, 100·2^attempt)` ms,
+/// capped at 10s, then jittered into `[0.75×, 1.25×)` so a herd of
+/// retrying clients does not re-stampede the daemon in lockstep.
+fn backoff_delay(attempt: u32, hint: Option<u64>) -> std::time::Duration {
+    use std::hash::{Hash, Hasher};
+    let exp = 100u64.saturating_mul(1 << attempt.min(10));
+    let base = exp.max(hint.unwrap_or(0)).min(10_000);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::process::id().hash(&mut h);
+    attempt.hash(&mut h);
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos())
+        .hash(&mut h);
+    let r = h.finish() % 1000;
+    let jittered = base * 3 / 4 + base / 2 * r / 1000;
+    std::time::Duration::from_millis(jittered.max(1))
 }
 
 fn cmd_zoo() -> Result<(), CliError> {

@@ -1,0 +1,109 @@
+//! `mapex request --max-retries`: client-side retry against a scripted
+//! fake daemon. Transient `overloaded` responses are retried honoring the
+//! `retry_after_ms` hint; the final outcome keeps the exit code it would
+//! have had without retries (response received → 0, connect failure → 1,
+//! connection closed without a response → 3).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::process::Output;
+use std::thread::JoinHandle;
+
+const OVERLOADED: &str = "{\"id\": 1, \"ok\": false, \"error\": {\"code\": \"overloaded\", \
+                          \"kind\": \"transient\", \"message\": \"queue full\", \
+                          \"retry_after_ms\": 25}}";
+const BAD_REQUEST: &str = "{\"id\": 1, \"ok\": false, \"error\": {\"code\": \"bad-request\", \
+                           \"kind\": \"permanent\", \"message\": \"no\"}}";
+const PONG: &str = "{\"id\": 1, \"ok\": true, \"op\": \"ping\"}";
+
+/// A scripted daemon: serves exactly one connection per entry — reading
+/// the request line, then writing the scripted response (or, for `None`,
+/// closing without responding) — and reports how many it served.
+fn scripted_daemon(script: Vec<Option<&'static str>>) -> (SocketAddr, JoinHandle<usize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake daemon");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let mut served = 0;
+        for response in script {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut line = String::new();
+            BufReader::new(stream.try_clone().expect("clone")).read_line(&mut line).expect("read");
+            assert!(line.contains("\"op\""), "client sent the request body: {line}");
+            served += 1;
+            if let Some(r) = response {
+                stream.write_all(r.as_bytes()).and_then(|()| stream.write_all(b"\n")).expect("respond");
+            }
+        }
+        served
+    });
+    (addr, handle)
+}
+
+fn run_request(addr: SocketAddr, max_retries: &str) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_mapex"))
+        .args([
+            "request",
+            "--addr",
+            &addr.to_string(),
+            "--max-retries",
+            max_retries,
+            "--timeout",
+            "30",
+            "{\"id\": 1, \"op\": \"ping\"}",
+        ])
+        .output()
+        .expect("run mapex request")
+}
+
+#[test]
+fn transient_overload_is_retried_until_success() {
+    let (addr, daemon) = scripted_daemon(vec![Some(OVERLOADED), Some(OVERLOADED), Some(PONG)]);
+    let out = run_request(addr, "5");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\": true"), "final response printed: {stdout}");
+    assert_eq!(daemon.join().expect("daemon"), 3, "two retries then success");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("retrying"), "retries are narrated on stderr: {stderr}");
+}
+
+#[test]
+fn exhausted_retries_still_print_the_response_and_exit_zero() {
+    // Three attempts, all overloaded: the last response is printed and the
+    // exit code is 0 — a response line was received, same contract as
+    // --max-retries 0; the taxonomy stays in the JSON for scripts.
+    let (addr, daemon) = scripted_daemon(vec![Some(OVERLOADED); 3]);
+    let out = run_request(addr, "2");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"code\": \"overloaded\""));
+    assert_eq!(daemon.join().expect("daemon"), 3, "exactly 1 + max_retries attempts");
+}
+
+#[test]
+fn permanent_errors_are_not_retried() {
+    let (addr, daemon) = scripted_daemon(vec![Some(BAD_REQUEST)]);
+    let out = run_request(addr, "5");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"code\": \"bad-request\""));
+    assert_eq!(daemon.join().expect("daemon"), 1, "no retry on a permanent error");
+}
+
+#[test]
+fn connection_closed_without_response_retries_then_exits_three() {
+    let (addr, daemon) = scripted_daemon(vec![None, None]);
+    let out = run_request(addr, "1");
+    assert_eq!(out.status.code(), Some(3), "no-response keeps its exit code after retries");
+    assert_eq!(daemon.join().expect("daemon"), 2);
+}
+
+#[test]
+fn connect_failure_retries_then_exits_one() {
+    // Bind then drop: the port exists but nothing listens on it.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("local addr")
+    };
+    let out = run_request(addr, "1");
+    assert_eq!(out.status.code(), Some(1), "connect failure keeps exit 1 after retries");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("connect"));
+}

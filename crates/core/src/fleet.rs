@@ -1,0 +1,1319 @@
+//! Fleet mode: coordinator/worker fan-out for `mapex serve`.
+//!
+//! A coordinator (`mapex serve --coordinator`) accepts the same client
+//! ops as a standalone daemon, but shards `sweep` (per-layer fan-out)
+//! and `search` (population-island fan-out) across workers
+//! (`mapex serve --worker <coordinator-addr>`) that register over the
+//! same JSON-lines protocol. This module holds the topology-agnostic
+//! pieces; `mse::service` wires them to sockets and executes shards.
+//!
+//! Robustness model, in decreasing order of importance:
+//!
+//! 1. **Exactly-once accounting.** Every shard id is dispatched at-least
+//!    once and *consumed* exactly once: the first result for a shard id
+//!    wins, later copies are counted and discarded. The sweep driver
+//!    flushes layers strictly in order into the fsync'd checkpoint, so a
+//!    coordinator restart resumes bit-identically.
+//! 2. **Leases, not connections, define liveness.** A worker that stops
+//!    heartbeating past [`FleetConfig::lease_ms`] loses its lease: its
+//!    in-flight shards are re-enqueued. Its connection is *not* closed —
+//!    a zombie that eventually answers produces a discarded duplicate,
+//!    not a protocol error (and closing it could race a valid result).
+//! 3. **Retry on worker death.** A dropped connection or expired lease
+//!    re-dispatches in-flight shards; a shard result carrying a
+//!    *transient* error is retried up to [`FleetConfig::shard_retries`]
+//!    times before the job fails. Permanent errors fail the job at once.
+//! 4. **Work stealing.** With no pending work and an idle worker, the
+//!    oldest outstanding shard is re-issued to the idle worker; first
+//!    answer wins (duplicates discarded by shard id).
+//! 5. **No split-brain.** Shard ids carry a per-coordinator epoch; a
+//!    restarted coordinator cannot mistake a result computed for its
+//!    predecessor for one of its own (it lands in `stale_results`).
+//!
+//! Everything here is deterministic where it matters: shard *results*
+//! depend only on (problem, arch, density, mapper, samples, seed, layer
+//! index), never on which worker ran them, when, or how many attempts
+//! it took.
+
+use crate::json;
+use crate::runtime::LayerCheckpoint;
+use crate::service::ErrorKind;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which of the three serve topologies this daemon plays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeRole {
+    /// A single process serving clients directly (the default).
+    Standalone,
+    /// Accepts client ops and shards `sweep`/`search` across registered
+    /// workers (falling back to local execution when none are live).
+    Coordinator,
+    /// Registers with a coordinator and executes shards for it, while
+    /// still serving direct client ops on its own listener.
+    Worker {
+        /// `host:port` of the coordinator to register with.
+        coordinator: String,
+    },
+}
+
+impl ServeRole {
+    /// Canonical wire name (`health`/`stats` responses).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeRole::Standalone => "standalone",
+            ServeRole::Coordinator => "coordinator",
+            ServeRole::Worker { .. } => "worker",
+        }
+    }
+}
+
+/// Fleet timing and retry knobs (coordinator and worker share the
+/// structure; each side reads the fields relevant to its role).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker → coordinator heartbeat period. The coordinator tells each
+    /// registering worker this value, so the coordinator's setting wins.
+    pub heartbeat_ms: u64,
+    /// Lease: a worker silent for this long loses its in-flight shards
+    /// (they are re-enqueued for other workers). Must comfortably exceed
+    /// `heartbeat_ms`.
+    pub lease_ms: u64,
+    /// Work stealing: with nothing pending and an idle worker, a shard
+    /// outstanding longer than this is re-issued to the idle worker.
+    pub steal_after_ms: u64,
+    /// In-flight shards a worker is sent before the coordinator waits
+    /// for results (per worker).
+    pub shard_slots: usize,
+    /// Cap on the worker's exponential reconnect backoff.
+    pub reconnect_max_ms: u64,
+    /// Re-dispatches allowed for a shard that keeps failing with
+    /// *transient* errors before the job fails.
+    pub shard_retries: usize,
+    /// Test hook: a worker sleeps this long before executing each shard
+    /// (straggler injection for the work-stealing and lease-expiry chaos
+    /// tests). Honored only when the daemon runs with
+    /// `ServeConfig::fault_injection`; never set in production.
+    pub shard_delay_ms: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            heartbeat_ms: 500,
+            lease_ms: 2_500,
+            steal_after_ms: 3_000,
+            shard_slots: 2,
+            reconnect_max_ms: 2_000,
+            shard_retries: 2,
+            shard_delay_ms: 0,
+        }
+    }
+}
+
+/// What kind of work one shard carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKind {
+    /// One layer of a network sweep; `index` is the *global* layer index
+    /// (per-layer seeds derive from it, so results are position-exact).
+    Layer {
+        /// Global layer index within the sweep.
+        index: usize,
+    },
+    /// One population island of a fanned-out search; `index` picks the
+    /// island's derived seed.
+    Island {
+        /// Island index within the fan-out.
+        index: usize,
+    },
+}
+
+/// Architecture over the wire: preset name or full TOML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchWire {
+    /// Built-in preset (`accel-a` / `accel-b`).
+    Preset(String),
+    /// Full TOML spec text (hardened `spec` ingestion on the worker).
+    Toml(String),
+}
+
+/// One self-contained unit of fleet work. Everything a worker needs to
+/// produce a bit-exact result is in here — workers hold no sweep state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// Globally unique id: `<epoch>-<job>-<index>`; duplicates and stale
+    /// results are recognized by it.
+    pub id: String,
+    /// Layer or island, with its position.
+    pub kind: ShardKind,
+    /// Workload in `problem::codec` one-liner form.
+    pub problem: String,
+    /// Architecture (preset or TOML).
+    pub arch: ArchWire,
+    /// Weight density in (0, 1]; 1.0 = dense.
+    pub weight_density: f64,
+    /// Input density in (0, 1]; 1.0 = dense.
+    pub input_density: f64,
+    /// Mapper name (validated on both ends).
+    pub mapper: String,
+    /// Sample budget for this shard.
+    pub samples: usize,
+    /// Layer shards: the sweep's *base* seed (the worker derives the
+    /// layer seed from the global index). Island shards: the island's
+    /// already-derived seed.
+    pub seed: u64,
+    /// Retry-with-reseed attempts inside the worker (island shards).
+    pub retries: usize,
+    /// Hard deadline for island shards; `None` for layer shards (sweep
+    /// determinism forbids wall-clock budgets).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Successful search outcome in wire-portable form (mirrors the fields
+/// of the service's `search` response).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOk {
+    /// The incumbent was salvaged by the watchdog rather than converged.
+    pub degraded: bool,
+    /// Terminal `RunStatus` name.
+    pub status: String,
+    /// Best EDP.
+    pub score: f64,
+    /// Latency of the best mapping (cycles).
+    pub latency_cycles: f64,
+    /// Energy of the best mapping (µJ).
+    pub energy_uj: f64,
+    /// Best mapping in `mapping::codec` spec form.
+    pub mapping: String,
+    /// Evaluations consumed.
+    pub evaluated: usize,
+    /// Wall-clock milliseconds (informational; not compared).
+    pub elapsed_ms: u64,
+    /// Attempts the resilient runner used.
+    pub attempts: usize,
+    /// Evaluation-cache hits during the run.
+    pub cache_hits: u64,
+}
+
+/// Payload of a successful shard result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardData {
+    /// A finished sweep layer, already in checkpoint form.
+    Layer(LayerCheckpoint),
+    /// A finished search island.
+    Island(SearchOk),
+}
+
+/// A failed shard, carrying the service error taxonomy across the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Transient (re-dispatchable) or permanent (fails the job).
+    pub kind: ErrorKind,
+    /// Service error code (e.g. `mapper-panicked`).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// What came back for one shard.
+pub type ShardOutcome = Result<ShardData, ShardError>;
+
+// ---------------------------------------------------------------------------
+// Wire codec for shard dispatch and results
+// ---------------------------------------------------------------------------
+
+/// Renders the coordinator → worker dispatch line for `spec`.
+pub(crate) fn render_shard(spec: &ShardSpec) -> String {
+    let (kind, index) = match spec.kind {
+        ShardKind::Layer { index } => ("layer", index),
+        ShardKind::Island { index } => ("island", index),
+    };
+    let mut s = format!(
+        "{{\"op\": \"shard\", \"shard\": {}, \"kind\": \"{kind}\", \"index\": {index}, \
+         \"problem\": {}, ",
+        json::escape(&spec.id),
+        json::escape(&spec.problem),
+    );
+    match &spec.arch {
+        ArchWire::Preset(name) => s.push_str(&format!("\"arch\": {}, ", json::escape(name))),
+        ArchWire::Toml(toml) => s.push_str(&format!("\"arch_toml\": {}, ", json::escape(toml))),
+    }
+    s.push_str(&format!(
+        "\"weight_density\": {}, \"input_density\": {}, \"mapper\": {}, \"samples\": {}, \
+         \"seed\": \"{}\", \"retries\": {}, ",
+        json::num(spec.weight_density),
+        json::num(spec.input_density),
+        json::escape(&spec.mapper),
+        spec.samples,
+        spec.seed,
+        spec.retries,
+    ));
+    match spec.deadline_ms {
+        Some(ms) => s.push_str(&format!("\"deadline_ms\": {ms}}}")),
+        None => s.push_str("\"deadline_ms\": null}"),
+    }
+    s
+}
+
+/// Parses a dispatch line back into a [`ShardSpec`] (worker side).
+pub(crate) fn parse_shard(doc: &json::Value) -> Result<ShardSpec, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        doc.get(key)
+            .and_then(json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("shard missing string `{key}`"))
+    };
+    let id = str_field("shard")?;
+    let index = doc
+        .get("index")
+        .and_then(json::Value::as_usize)
+        .ok_or_else(|| "shard missing `index`".to_string())?;
+    let kind = match doc.get("kind").and_then(json::Value::as_str) {
+        Some("layer") => ShardKind::Layer { index },
+        Some("island") => ShardKind::Island { index },
+        other => return Err(format!("shard has bad `kind` {other:?}")),
+    };
+    let arch = if let Some(toml) = doc.get("arch_toml").and_then(json::Value::as_str) {
+        ArchWire::Toml(toml.to_string())
+    } else {
+        ArchWire::Preset(str_field("arch")?)
+    };
+    let density = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("shard missing `{key}`"))
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(json::Value::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| "shard has bad `deadline_ms`".to_string())?),
+    };
+    Ok(ShardSpec {
+        id,
+        kind,
+        problem: str_field("problem")?,
+        arch,
+        weight_density: density("weight_density")?,
+        input_density: density("input_density")?,
+        mapper: str_field("mapper")?,
+        samples: doc
+            .get("samples")
+            .and_then(json::Value::as_usize)
+            .ok_or_else(|| "shard missing `samples`".to_string())?,
+        seed: doc
+            .get("seed")
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| "shard missing `seed`".to_string())?,
+        retries: doc.get("retries").and_then(json::Value::as_usize).unwrap_or(0),
+        deadline_ms,
+    })
+}
+
+/// Renders the worker → coordinator result line for shard `id`.
+pub(crate) fn render_shard_result(id: &str, outcome: &ShardOutcome) -> String {
+    let head = format!("{{\"op\": \"shard-result\", \"shard\": {}", json::escape(id));
+    match outcome {
+        Ok(ShardData::Layer(l)) => {
+            let mapping = match &l.mapping {
+                Some(m) => json::escape(m),
+                None => "null".to_string(),
+            };
+            format!(
+                "{head}, \"ok\": true, \"kind\": \"layer\", \"name\": {}, \"init_score\": {}, \
+                 \"best_score\": {}, \"converge_sample\": {}, \"evaluated\": {}, \
+                 \"elapsed_secs\": {}, \"mapping\": {mapping}, \"latency_cycles\": {}, \
+                 \"energy_uj\": {}}}",
+                json::escape(&l.name),
+                json::num(l.init_score),
+                json::num(l.best_score),
+                l.converge_sample,
+                l.evaluated,
+                json::num(l.elapsed_secs),
+                json::num(l.latency_cycles),
+                json::num(l.energy_uj),
+            )
+        }
+        Ok(ShardData::Island(r)) => format!(
+            "{head}, \"ok\": true, \"kind\": \"island\", \"degraded\": {}, \"status\": {}, \
+             \"score\": {}, \"latency_cycles\": {}, \"energy_uj\": {}, \"mapping\": {}, \
+             \"evaluated\": {}, \"elapsed_ms\": {}, \"attempts\": {}, \"cache_hits\": {}}}",
+            r.degraded,
+            json::escape(&r.status),
+            json::num(r.score),
+            json::num(r.latency_cycles),
+            json::num(r.energy_uj),
+            json::escape(&r.mapping),
+            r.evaluated,
+            r.elapsed_ms,
+            r.attempts,
+            r.cache_hits,
+        ),
+        Err(e) => format!(
+            "{head}, \"ok\": false, \"error_kind\": {}, \"code\": {}, \"message\": {}}}",
+            json::escape(match e.kind {
+                ErrorKind::Transient => "transient",
+                ErrorKind::Permanent => "permanent",
+            }),
+            json::escape(&e.code),
+            json::escape(&e.message),
+        ),
+    }
+}
+
+/// Parses a result line into `(shard_id, outcome)` (coordinator side).
+pub(crate) fn parse_shard_result(doc: &json::Value) -> Result<(String, ShardOutcome), String> {
+    let id = doc
+        .get("shard")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| "shard-result missing `shard`".to_string())?
+        .to_string();
+    let ok = doc
+        .get("ok")
+        .and_then(json::Value::as_bool)
+        .ok_or_else(|| "shard-result missing `ok`".to_string())?;
+    if !ok {
+        let kind = match doc.get("error_kind").and_then(json::Value::as_str) {
+            Some("permanent") => ErrorKind::Permanent,
+            _ => ErrorKind::Transient,
+        };
+        let code = doc
+            .get("code")
+            .and_then(json::Value::as_str)
+            .unwrap_or("shard-failed")
+            .to_string();
+        let message = doc
+            .get("message")
+            .and_then(json::Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        return Ok((id, Err(ShardError { kind, code, message })));
+    }
+    let num = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("shard-result missing `{key}`"))
+    };
+    let count = |key: &str| -> Result<usize, String> {
+        doc.get(key)
+            .and_then(json::Value::as_usize)
+            .ok_or_else(|| format!("shard-result missing `{key}`"))
+    };
+    match doc.get("kind").and_then(json::Value::as_str) {
+        Some("layer") => {
+            let mapping = match doc.get("mapping") {
+                None | Some(json::Value::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| "shard-result has bad `mapping`".to_string())?
+                        .to_string(),
+                ),
+            };
+            Ok((
+                id,
+                Ok(ShardData::Layer(LayerCheckpoint {
+                    name: doc
+                        .get("name")
+                        .and_then(json::Value::as_str)
+                        .ok_or_else(|| "shard-result missing `name`".to_string())?
+                        .to_string(),
+                    init_score: num("init_score")?,
+                    best_score: num("best_score")?,
+                    converge_sample: count("converge_sample")?,
+                    evaluated: count("evaluated")?,
+                    elapsed_secs: num("elapsed_secs")?,
+                    mapping,
+                    latency_cycles: num("latency_cycles")?,
+                    energy_uj: num("energy_uj")?,
+                })),
+            ))
+        }
+        Some("island") => Ok((
+            id,
+            Ok(ShardData::Island(SearchOk {
+                degraded: doc.get("degraded").and_then(json::Value::as_bool).unwrap_or(false),
+                status: doc
+                    .get("status")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("succeeded")
+                    .to_string(),
+                score: num("score")?,
+                latency_cycles: num("latency_cycles")?,
+                energy_uj: num("energy_uj")?,
+                mapping: doc
+                    .get("mapping")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| "shard-result missing `mapping`".to_string())?
+                    .to_string(),
+                evaluated: count("evaluated")?,
+                elapsed_ms: doc.get("elapsed_ms").and_then(json::Value::as_u64).unwrap_or(0),
+                attempts: count("attempts")?,
+                cache_hits: doc.get("cache_hits").and_then(json::Value::as_u64).unwrap_or(0),
+            })),
+        )),
+        other => Err(format!("shard-result has bad `kind` {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator state
+// ---------------------------------------------------------------------------
+
+/// Fleet-level counters, surfaced through the `stats` op.
+#[derive(Debug, Default)]
+pub(crate) struct FleetCounters {
+    pub dispatched: AtomicU64,
+    pub redispatched: AtomicU64,
+    pub stolen: AtomicU64,
+    pub duplicates_discarded: AtomicU64,
+    pub stale_results: AtomicU64,
+    pub workers_lost: AtomicU64,
+    pub workers_joined: AtomicU64,
+}
+
+struct WorkerEntry {
+    writer: Arc<Mutex<TcpStream>>,
+    last_seen: Instant,
+    in_flight: HashSet<String>,
+    slots: usize,
+    draining: bool,
+}
+
+struct ShardState {
+    job: u64,
+    spec: ShardSpec,
+    /// Workers this shard was sent to (ids may no longer be live).
+    assigned: Vec<u64>,
+    /// When the shard was first (or most recently re-)issued; the steal
+    /// clock.
+    issued: Option<Instant>,
+    /// Transient-failure re-dispatches still allowed.
+    attempts_left: usize,
+    outcome: Option<ShardOutcome>,
+    /// The driver already took the outcome; the entry stays to recognize
+    /// late duplicates.
+    consumed: bool,
+    /// Being executed inline by the coordinator (liveness fallback);
+    /// never stolen or re-dispatched.
+    local: bool,
+}
+
+struct FleetInner {
+    next_worker: u64,
+    next_job: u64,
+    workers: HashMap<u64, WorkerEntry>,
+    shards: HashMap<String, ShardState>,
+    pending: VecDeque<String>,
+    /// Writers of lease-expired workers: kept open (a late result is a
+    /// countable duplicate, not a reset), closed at shutdown.
+    zombies: Vec<Arc<Mutex<TcpStream>>>,
+}
+
+/// The coordinator's scheduler: worker registry, shard table, dispatch /
+/// re-dispatch / steal decisions. Socket I/O stays in `mse::service`;
+/// every method here is lock-and-return.
+pub(crate) struct Fleet {
+    cfg: FleetConfig,
+    /// Distinguishes this coordinator incarnation's shard ids from a
+    /// predecessor's after a restart on the same address.
+    epoch: u64,
+    inner: Mutex<FleetInner>,
+    cv: Condvar,
+    pub(crate) counters: FleetCounters,
+    stop: AtomicBool,
+}
+
+/// Writes one line; unlike the service's fire-and-forget `write_line`,
+/// failures are surfaced so the caller can declare the worker dead.
+fn send_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+impl Fleet {
+    pub(crate) fn new(cfg: FleetConfig) -> Self {
+        // Epoch: unique per coordinator incarnation (pid + boot time),
+        // so shard ids from a previous life on the same port are
+        // recognized as stale instead of being mis-consumed.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::process::id().hash(&mut h);
+        if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            t.as_nanos().hash(&mut h);
+        }
+        Fleet {
+            cfg,
+            epoch: h.finish(),
+            inner: Mutex::new(FleetInner {
+                next_worker: 1,
+                next_job: 1,
+                workers: HashMap::new(),
+                shards: HashMap::new(),
+                pending: VecDeque::new(),
+                zombies: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            counters: FleetCounters::default(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FleetInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a worker connection; returns its id.
+    pub(crate) fn register(&self, writer: Arc<Mutex<TcpStream>>, slots: usize) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_worker;
+        inner.next_worker += 1;
+        inner.workers.insert(
+            id,
+            WorkerEntry {
+                writer,
+                last_seen: Instant::now(),
+                in_flight: HashSet::new(),
+                slots: slots.max(1),
+                draining: false,
+            },
+        );
+        self.counters.workers_joined.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+        id
+    }
+
+    /// Renews a worker's lease (heartbeat or any message from it).
+    pub(crate) fn touch(&self, worker: u64) {
+        if let Some(w) = self.lock().workers.get_mut(&worker) {
+            w.last_seen = Instant::now();
+        }
+    }
+
+    /// Worker announced a drain: no new dispatches, in-flight results
+    /// still accepted.
+    pub(crate) fn deregister(&self, worker: u64) {
+        if let Some(w) = self.lock().workers.get_mut(&worker) {
+            w.draining = true;
+        }
+    }
+
+    /// Re-enqueues the given shard ids unless already answered, already
+    /// pending, or still in flight on some live worker. Caller holds the
+    /// lock. Returns how many were re-enqueued.
+    fn requeue_orphans(inner: &mut FleetInner, ids: &[String]) -> u64 {
+        let mut n = 0;
+        for id in ids {
+            let Some(st) = inner.shards.get_mut(id) else { continue };
+            if st.outcome.is_some() || st.local {
+                continue;
+            }
+            let covered = st.assigned.iter().any(|wid| {
+                inner.workers.get(wid).is_some_and(|w| w.in_flight.contains(id))
+            });
+            if covered || inner.pending.contains(id) {
+                continue;
+            }
+            st.issued = None;
+            inner.pending.push_back(id.clone());
+            n += 1;
+        }
+        n
+    }
+
+    /// Worker connection died: drop the entry and re-dispatch its
+    /// unanswered in-flight shards. Idempotent (lease expiry and the
+    /// reader thread's EOF can both report the same worker).
+    pub(crate) fn disconnected(&self, worker: u64) {
+        let mut inner = self.lock();
+        let Some(entry) = inner.workers.remove(&worker) else { return };
+        self.counters.workers_lost.fetch_add(1, Ordering::Relaxed);
+        let orphans: Vec<String> = entry.in_flight.iter().cloned().collect();
+        let n = Self::requeue_orphans(&mut inner, &orphans);
+        self.counters.redispatched.fetch_add(n, Ordering::Relaxed);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Workers currently holding a live lease and accepting work.
+    pub(crate) fn live_workers(&self) -> usize {
+        self.lock().workers.values().filter(|w| !w.draining).count()
+    }
+
+    /// Records a result from `worker` (0 = unknown/none). First answer
+    /// wins; duplicates and stale (unknown-id) results are counted and
+    /// dropped; transient failures with attempts left are re-enqueued.
+    pub(crate) fn result(&self, worker: u64, shard_id: &str, outcome: ShardOutcome) {
+        let mut inner = self.lock();
+        if let Some(w) = inner.workers.get_mut(&worker) {
+            w.last_seen = Instant::now();
+            w.in_flight.remove(shard_id);
+        }
+        let Some(st) = inner.shards.get_mut(shard_id) else {
+            self.counters.stale_results.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if st.outcome.is_some() {
+            self.counters.duplicates_discarded.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match outcome {
+            Err(e) if e.kind == ErrorKind::Transient && st.attempts_left > 0 => {
+                st.attempts_left -= 1;
+                st.issued = None;
+                if !inner.pending.contains(&shard_id.to_string()) {
+                    inner.pending.push_back(shard_id.to_string());
+                }
+                self.counters.redispatched.fetch_add(1, Ordering::Relaxed);
+            }
+            out => {
+                st.outcome = Some(out);
+            }
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Allocates a job id (shard ids embed it).
+    pub(crate) fn new_job(&self) -> u64 {
+        let mut inner = self.lock();
+        let job = inner.next_job;
+        inner.next_job += 1;
+        job
+    }
+
+    /// The shard id for `(job, index)` under this coordinator's epoch.
+    pub(crate) fn shard_id(&self, job: u64, index: usize) -> String {
+        format!("{:x}-{job}-{index}", self.epoch)
+    }
+
+    /// Enqueues a job's shards for dispatch.
+    pub(crate) fn submit(&self, job: u64, specs: Vec<ShardSpec>) {
+        let mut inner = self.lock();
+        for spec in specs {
+            let id = spec.id.clone();
+            inner.shards.insert(
+                id.clone(),
+                ShardState {
+                    job,
+                    spec,
+                    assigned: Vec::new(),
+                    issued: None,
+                    attempts_left: self.cfg.shard_retries,
+                    outcome: None,
+                    consumed: false,
+                    local: false,
+                },
+            );
+            inner.pending.push_back(id);
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Consumes the outcome of one shard, exactly once. The entry stays
+    /// behind (marked consumed) so later duplicates are still recognized;
+    /// [`Fleet::finish_job`] removes it.
+    pub(crate) fn take_outcome(&self, shard_id: &str) -> Option<ShardOutcome> {
+        let mut inner = self.lock();
+        let st = inner.shards.get_mut(shard_id)?;
+        if st.consumed {
+            return None;
+        }
+        let out = st.outcome.clone()?;
+        st.consumed = true;
+        Some(out)
+    }
+
+    /// Liveness fallback: with zero live workers, the driver claims a
+    /// pending shard of its job and executes it inline, so a coordinator
+    /// with no fleet still completes every sweep.
+    pub(crate) fn claim_local(&self, job: u64) -> Option<ShardSpec> {
+        let mut inner = self.lock();
+        if inner.workers.values().any(|w| !w.draining) {
+            return None;
+        }
+        let pos = inner.pending.iter().position(|id| {
+            inner.shards.get(id).is_some_and(|st| st.job == job && st.outcome.is_none())
+        })?;
+        let id = inner.pending.remove(pos)?;
+        let st = inner.shards.get_mut(&id)?;
+        st.local = true;
+        Some(st.spec.clone())
+    }
+
+    /// Stores the outcome of a locally executed shard.
+    pub(crate) fn complete_local(&self, shard_id: &str, outcome: ShardOutcome) {
+        let mut inner = self.lock();
+        if let Some(st) = inner.shards.get_mut(shard_id) {
+            if st.outcome.is_none() {
+                st.outcome = Some(outcome);
+            }
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Drops a finished (or abandoned) job's shard table entries; late
+    /// results for them become `stale_results`.
+    pub(crate) fn finish_job(&self, job: u64) {
+        let mut inner = self.lock();
+        let ids: Vec<String> = inner
+            .shards
+            .iter()
+            .filter(|(_, st)| st.job == job)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &ids {
+            inner.shards.remove(id);
+        }
+        inner.pending.retain(|id| !ids.contains(id));
+    }
+
+    /// Parks the driver until something changes (result, worker event) or
+    /// the timeout passes.
+    pub(crate) fn wait(&self, timeout: Duration) {
+        let inner = self.lock();
+        let _ = self.cv.wait_timeout(inner, timeout);
+    }
+
+    /// One supervisor pass: expire leases, dispatch pending shards, steal
+    /// for stragglers. Socket writes happen after the lock is dropped; a
+    /// failed write reports the worker as disconnected.
+    fn tick(&self) {
+        let lease = Duration::from_millis(self.cfg.lease_ms);
+        let mut sends: Vec<(u64, Arc<Mutex<TcpStream>>, String)> = Vec::new();
+        {
+            let mut inner = self.lock();
+            // Lease expiry: silent workers lose their shards but keep
+            // their connection (see module docs on zombies).
+            let expired: Vec<u64> = inner
+                .workers
+                .iter()
+                .filter(|(_, w)| w.last_seen.elapsed() > lease)
+                .map(|(id, _)| *id)
+                .collect();
+            for wid in expired {
+                if let Some(entry) = inner.workers.remove(&wid) {
+                    self.counters.workers_lost.fetch_add(1, Ordering::Relaxed);
+                    inner.zombies.push(Arc::clone(&entry.writer));
+                    let orphans: Vec<String> = entry.in_flight.iter().cloned().collect();
+                    let n = Self::requeue_orphans(&mut inner, &orphans);
+                    self.counters.redispatched.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            // Dispatch: least-loaded live worker with a free slot.
+            while !inner.pending.is_empty() {
+                let target = inner
+                    .workers
+                    .iter()
+                    .filter(|(_, w)| !w.draining && w.in_flight.len() < w.slots)
+                    .min_by_key(|(_, w)| w.in_flight.len())
+                    .map(|(id, _)| *id);
+                let Some(wid) = target else { break };
+                let Some(id) = inner.pending.pop_front() else { break };
+                let Some(st) = inner.shards.get_mut(&id) else { continue };
+                if st.outcome.is_some() || st.local {
+                    continue;
+                }
+                st.assigned.push(wid);
+                st.issued = Some(Instant::now());
+                let line = render_shard(&st.spec);
+                let w = inner.workers.get_mut(&wid).expect("target vanished under lock");
+                w.in_flight.insert(id);
+                sends.push((wid, Arc::clone(&w.writer), line));
+                self.counters.dispatched.fetch_add(1, Ordering::Relaxed);
+            }
+            // Steal: nothing pending, an idle slot somewhere, and an
+            // outstanding shard past the straggler threshold → re-issue
+            // the oldest one to a worker that does not already hold it.
+            if inner.pending.is_empty() {
+                let threshold = Duration::from_millis(self.cfg.steal_after_ms);
+                let victim = inner
+                    .shards
+                    .iter()
+                    .filter(|(_, st)| {
+                        st.outcome.is_none()
+                            && !st.local
+                            && st.issued.is_some_and(|t| t.elapsed() > threshold)
+                    })
+                    .min_by_key(|(_, st)| st.issued)
+                    .map(|(id, _)| id.clone());
+                if let Some(id) = victim {
+                    let assigned = inner.shards[&id].assigned.clone();
+                    let thief = inner
+                        .workers
+                        .iter()
+                        .filter(|(wid, w)| {
+                            !w.draining
+                                && w.in_flight.len() < w.slots
+                                && !assigned.contains(wid)
+                        })
+                        .min_by_key(|(_, w)| w.in_flight.len())
+                        .map(|(wid, _)| *wid);
+                    if let Some(wid) = thief {
+                        let st = inner.shards.get_mut(&id).expect("victim vanished under lock");
+                        st.assigned.push(wid);
+                        st.issued = Some(Instant::now());
+                        let line = render_shard(&st.spec);
+                        let w =
+                            inner.workers.get_mut(&wid).expect("thief vanished under lock");
+                        w.in_flight.insert(id);
+                        sends.push((wid, Arc::clone(&w.writer), line));
+                        self.counters.stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        for (wid, writer, line) in sends {
+            if send_line(&writer, &line).is_err() {
+                self.disconnected(wid);
+            }
+        }
+    }
+
+    /// Stops the supervisor and severs every worker connection (live and
+    /// zombie) so their reader threads unblock.
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let writers: Vec<Arc<Mutex<TcpStream>>> = {
+            let mut inner = self.lock();
+            let mut all: Vec<Arc<Mutex<TcpStream>>> =
+                inner.workers.values().map(|w| Arc::clone(&w.writer)).collect();
+            all.append(&mut inner.zombies);
+            all
+        };
+        for w in writers {
+            let s = w.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Runs the supervisor until [`Fleet::shutdown`].
+    pub(crate) fn spawn_supervisor(fleet: Arc<Fleet>) -> JoinHandle<()> {
+        std::thread::spawn(move || {
+            while !fleet.stop.load(Ordering::SeqCst) {
+                fleet.tick();
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side: the link to the coordinator
+// ---------------------------------------------------------------------------
+
+/// Partial-line-preserving reader over a `TcpStream` with a read
+/// timeout: `poll` returns a complete line, "nothing yet", or EOF,
+/// without ever losing buffered bytes across timeouts.
+struct TimeoutLineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+enum Polled {
+    Line(Vec<u8>),
+    Idle,
+    Closed,
+}
+
+impl TimeoutLineReader {
+    const MAX_LINE: usize = 1 << 20;
+
+    fn new(stream: TcpStream) -> Self {
+        TimeoutLineReader { stream, buf: Vec::new() }
+    }
+
+    fn take_line(&mut self) -> Option<Vec<u8>> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+        line.pop();
+        Some(line)
+    }
+
+    fn poll(&mut self) -> Polled {
+        if let Some(line) = self.take_line() {
+            return Polled::Line(line);
+        }
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Polled::Closed,
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                if self.buf.len() > Self::MAX_LINE {
+                    // A line protocol cannot resynchronize mid-line.
+                    return Polled::Closed;
+                }
+                match self.take_line() {
+                    Some(line) => Polled::Line(line),
+                    None => Polled::Idle,
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                Polled::Idle
+            }
+            Err(_) => Polled::Closed,
+        }
+    }
+}
+
+/// The worker's side of the fleet: one manager thread owns the
+/// connection (connect → register → heartbeat → receive shards, with
+/// capped-backoff reconnect); shard executor threads in `mse::service`
+/// pop from `queue` and push results through [`WorkerLink::send_result`].
+pub(crate) struct WorkerLink {
+    cfg: FleetConfig,
+    coordinator: String,
+    slots: usize,
+    writer: Mutex<Option<Arc<Mutex<TcpStream>>>>,
+    connected: AtomicBool,
+    /// Chaos hook: hard-kill the link and never reconnect (simulated
+    /// worker death, from the coordinator's point of view).
+    severed: AtomicBool,
+    /// Chaos hook: stop heartbeating while everything else keeps running
+    /// (forces lease expiry with a live connection → duplicate results).
+    muted: AtomicBool,
+    /// Chaos hook: execute shards but drop their results.
+    discard: AtomicBool,
+    queue: Mutex<VecDeque<ShardSpec>>,
+    cv: Condvar,
+    busy: AtomicU64,
+}
+
+impl WorkerLink {
+    pub(crate) fn new(cfg: FleetConfig, coordinator: String, slots: usize) -> Self {
+        WorkerLink {
+            cfg,
+            coordinator,
+            slots: slots.max(1),
+            writer: Mutex::new(None),
+            connected: AtomicBool::new(false),
+            severed: AtomicBool::new(false),
+            muted: AtomicBool::new(false),
+            discard: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            busy: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Queued or executing shards remain.
+    pub(crate) fn pending_work(&self) -> bool {
+        !self.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+            || self.busy.load(Ordering::SeqCst) > 0
+    }
+
+    /// Pops the next shard, marking the caller busy. The caller must
+    /// invoke [`WorkerLink::finish_shard`] when done.
+    pub(crate) fn next_shard(&self, timeout: Duration) -> Option<ShardSpec> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.is_empty() {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        let spec = q.pop_front()?;
+        self.busy.fetch_add(1, Ordering::SeqCst);
+        Some(spec)
+    }
+
+    pub(crate) fn finish_shard(&self) {
+        self.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Ships a result line to the coordinator (best effort: a dead link
+    /// means lease expiry will re-dispatch the shard elsewhere).
+    pub(crate) fn send_result(&self, line: &str) {
+        if self.discard.load(Ordering::SeqCst) {
+            return;
+        }
+        let writer = self.writer.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(w) = writer {
+            let _ = send_line(&w, line);
+        }
+    }
+
+    /// Chaos: kill the connection now and never reconnect.
+    pub(crate) fn sever(&self) {
+        self.severed.store(true, Ordering::SeqCst);
+        self.discard.store(true, Ordering::SeqCst);
+        if let Some(w) = self.writer.lock().unwrap_or_else(|e| e.into_inner()).clone() {
+            let s = w.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Chaos: stop heartbeating (connection and execution continue).
+    pub(crate) fn mute(&self) {
+        self.muted.store(true, Ordering::SeqCst);
+    }
+
+    /// Runs the connection manager until drain completes or the link is
+    /// severed. `drain` is the daemon's should-drain predicate.
+    pub(crate) fn spawn_manager(
+        link: Arc<WorkerLink>,
+        drain: impl Fn() -> bool + Send + 'static,
+    ) -> JoinHandle<()> {
+        std::thread::spawn(move || link.manage(&drain))
+    }
+
+    fn done(&self, drain: &impl Fn() -> bool) -> bool {
+        self.severed.load(Ordering::SeqCst) || (drain() && !self.pending_work())
+    }
+
+    fn manage(&self, drain: &impl Fn() -> bool) {
+        let mut backoff = 100u64;
+        while !self.done(drain) {
+            let Ok(stream) = TcpStream::connect(&self.coordinator) else {
+                std::thread::sleep(Duration::from_millis(backoff));
+                backoff = (backoff * 2).min(self.cfg.reconnect_max_ms.max(100));
+                continue;
+            };
+            let _ = stream.set_nodelay(true);
+            let Ok(write_half) = stream.try_clone() else { continue };
+            let writer = Arc::new(Mutex::new(write_half));
+            if send_line(&writer, &format!("{{\"op\": \"register-worker\", \"slots\": {}}}", self.slots))
+                .is_err()
+            {
+                continue;
+            }
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            *self.writer.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&writer));
+            self.connected.store(true, Ordering::SeqCst);
+            backoff = 100;
+            let mut heartbeat = Duration::from_millis(self.cfg.heartbeat_ms.max(10));
+            let mut reader = TimeoutLineReader::new(stream);
+            let mut last_beat = Instant::now();
+            let mut deregistered = false;
+            loop {
+                if self.severed.load(Ordering::SeqCst) {
+                    break;
+                }
+                if drain() && !deregistered {
+                    let _ = send_line(&writer, "{\"op\": \"deregister\"}");
+                    deregistered = true;
+                }
+                if deregistered && !self.pending_work() {
+                    self.connected.store(false, Ordering::SeqCst);
+                    return;
+                }
+                match reader.poll() {
+                    Polled::Closed => break,
+                    Polled::Idle => {}
+                    Polled::Line(bytes) => {
+                        if let Ok(text) = std::str::from_utf8(&bytes) {
+                            if let Ok(doc) = json::parse(text) {
+                                match doc.get("op").and_then(json::Value::as_str) {
+                                    Some("registered") => {
+                                        // The coordinator's cadence wins.
+                                        if let Some(ms) = doc
+                                            .get("heartbeat_ms")
+                                            .and_then(json::Value::as_u64)
+                                        {
+                                            heartbeat = Duration::from_millis(ms.max(10));
+                                        }
+                                    }
+                                    Some("shard") => match parse_shard(&doc) {
+                                        Ok(spec) if !deregistered => {
+                                            let mut q = self
+                                                .queue
+                                                .lock()
+                                                .unwrap_or_else(|e| e.into_inner());
+                                            q.push_back(spec);
+                                            drop(q);
+                                            self.cv.notify_one();
+                                        }
+                                        Ok(spec) => {
+                                            // Draining: refuse so the
+                                            // coordinator re-dispatches
+                                            // now, not at lease expiry.
+                                            self.send_result(&render_shard_result(
+                                                &spec.id,
+                                                &Err(ShardError {
+                                                    kind: ErrorKind::Transient,
+                                                    code: "worker-draining".to_string(),
+                                                    message: "worker is draining".to_string(),
+                                                }),
+                                            ));
+                                        }
+                                        Err(_) => {}
+                                    },
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                if !self.muted.load(Ordering::SeqCst) && last_beat.elapsed() >= heartbeat {
+                    if send_line(&writer, "{\"op\": \"heartbeat\"}").is_err() {
+                        break;
+                    }
+                    last_beat = Instant::now();
+                }
+            }
+            // Connection lost: queued shards belong to a coordinator
+            // incarnation we can no longer answer; drop them (it will
+            // re-dispatch under its own epoch).
+            self.connected.store(false, Ordering::SeqCst);
+            *self.writer.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            if self.done(drain) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(backoff));
+            backoff = (backoff * 2).min(self.cfg.reconnect_max_ms.max(100));
+        }
+        self.connected.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer_spec(id: &str, index: usize) -> ShardSpec {
+        ShardSpec {
+            id: id.to_string(),
+            kind: ShardKind::Layer { index },
+            problem: "GEMM;g;B=2,M=8,K=8,N=8".to_string(),
+            arch: ArchWire::Preset("accel-b".to_string()),
+            weight_density: 1.0,
+            input_density: 1.0,
+            mapper: "gamma".to_string(),
+            samples: 100,
+            seed: u64::MAX - 3,
+            retries: 0,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn shard_wire_round_trips() {
+        let spec = layer_spec("abc-1-0", 4);
+        let parsed = parse_shard(&json::parse(&render_shard(&spec)).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        let island = ShardSpec {
+            kind: ShardKind::Island { index: 2 },
+            arch: ArchWire::Toml("[arch]\nname = \"x\"".to_string()),
+            deadline_ms: Some(1_500),
+            retries: 3,
+            weight_density: 0.5,
+            ..spec
+        };
+        let parsed = parse_shard(&json::parse(&render_shard(&island)).unwrap()).unwrap();
+        assert_eq!(parsed, island);
+    }
+
+    #[test]
+    fn shard_result_wire_round_trips() {
+        let layer = ShardData::Layer(LayerCheckpoint {
+            name: "conv \"1\"".to_string(),
+            init_score: f64::INFINITY,
+            best_score: 1.25e9,
+            converge_sample: 7,
+            evaluated: 100,
+            elapsed_secs: 0.0,
+            mapping: Some("L0: K4".to_string()),
+            latency_cycles: 1.0e6,
+            energy_uj: 3.5,
+        });
+        let line = render_shard_result("e-1-0", &Ok(layer.clone()));
+        let (id, out) = parse_shard_result(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(id, "e-1-0");
+        assert_eq!(out, Ok(layer));
+
+        let err = ShardError {
+            kind: ErrorKind::Transient,
+            code: "mapper-panicked".to_string(),
+            message: "boom".to_string(),
+        };
+        let line = render_shard_result("e-1-1", &Err(err.clone()));
+        let (id, out) = parse_shard_result(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(id, "e-1-1");
+        assert_eq!(out, Err(err));
+    }
+
+    #[test]
+    fn duplicate_and_stale_results_are_discarded() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let job = fleet.new_job();
+        let id = fleet.shard_id(job, 0);
+        fleet.submit(job, vec![layer_spec(&id, 0)]);
+        let ok = Ok(ShardData::Layer(LayerCheckpoint {
+            name: "l".to_string(),
+            init_score: 1.0,
+            best_score: 1.0,
+            converge_sample: 0,
+            evaluated: 1,
+            elapsed_secs: 0.0,
+            mapping: None,
+            latency_cycles: 1.0,
+            energy_uj: 1.0,
+        }));
+        fleet.result(0, &id, ok.clone());
+        fleet.result(0, &id, ok.clone());
+        assert_eq!(fleet.counters.duplicates_discarded.load(Ordering::Relaxed), 1);
+        assert!(fleet.take_outcome(&id).is_some());
+        assert!(fleet.take_outcome(&id).is_none(), "outcome consumed twice");
+        fleet.finish_job(job);
+        fleet.result(0, &id, ok);
+        assert_eq!(fleet.counters.stale_results.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn transient_shard_failures_requeue_until_exhausted() {
+        let fleet = Fleet::new(FleetConfig { shard_retries: 1, ..FleetConfig::default() });
+        let job = fleet.new_job();
+        let id = fleet.shard_id(job, 0);
+        fleet.submit(job, vec![layer_spec(&id, 0)]);
+        let fail = || {
+            Err(ShardError {
+                kind: ErrorKind::Transient,
+                code: "mapper-panicked".to_string(),
+                message: "x".to_string(),
+            })
+        };
+        fleet.result(0, &id, fail());
+        assert!(fleet.take_outcome(&id).is_none(), "transient failure surfaced too early");
+        fleet.result(0, &id, fail());
+        match fleet.take_outcome(&id) {
+            Some(Err(e)) => assert_eq!(e.code, "mapper-panicked"),
+            other => panic!("expected surfaced failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_claim_only_without_live_workers() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let job = fleet.new_job();
+        let id = fleet.shard_id(job, 0);
+        fleet.submit(job, vec![layer_spec(&id, 0)]);
+        let spec = fleet.claim_local(job).expect("no workers: local claim must succeed");
+        assert_eq!(spec.id, id);
+        assert!(fleet.claim_local(job).is_none(), "shard claimed twice");
+    }
+}

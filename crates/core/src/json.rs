@@ -68,6 +68,11 @@ impl Value {
         }
     }
 
+    /// `as_u64` narrowed to `usize` (counts, indices).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|n| n as usize)
+    }
+
     /// Renders the value back to compact JSON text (used to echo request
     /// ids verbatim in service responses).
     pub fn to_text(&self) -> String {

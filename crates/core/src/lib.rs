@@ -26,6 +26,7 @@
 mod driver;
 pub mod eval;
 pub mod fault;
+pub mod fleet;
 pub mod json;
 pub mod runtime;
 pub mod service;
@@ -35,6 +36,7 @@ pub mod warmstart;
 pub use driver::{convergence_sample, samples_to_reach, Mse};
 pub use eval::{CachedEvaluator, EvalCache, EvalConfig, EvalPool, PoolEvaluator};
 pub use fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};
+pub use fleet::{FleetConfig, ServeRole};
 pub use runtime::{
     run_network_checkpointed, run_network_checkpointed_parallel, CheckpointError, LayerCheckpoint,
     RunPolicy, SweepCheckpoint,

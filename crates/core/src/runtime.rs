@@ -433,7 +433,9 @@ pub struct LayerCheckpoint {
 }
 
 impl LayerCheckpoint {
-    fn from_outcome(o: &LayerOutcome) -> Self {
+    /// Captures a finished layer. Public so a fleet worker can ship its
+    /// shard result in exactly the form the coordinator checkpoints.
+    pub fn from_outcome(o: &LayerOutcome) -> Self {
         let (mapping, cost) = match &o.result.best {
             Some((m, c)) => (Some(mapping::codec::to_spec(m)), *c),
             None => (None, Cost { latency_cycles: f64::NAN, energy_uj: f64::NAN }),
@@ -451,7 +453,14 @@ impl LayerCheckpoint {
         }
     }
 
-    fn to_outcome(&self) -> Result<LayerOutcome, CheckpointError> {
+    /// Rebuilds the layer's [`LayerOutcome`] (inverse of
+    /// [`LayerCheckpoint::from_outcome`] up to non-deterministic fields).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] when the stored mapping spec no longer
+    /// parses.
+    pub fn to_outcome(&self) -> Result<LayerOutcome, CheckpointError> {
         let best = match &self.mapping {
             Some(spec) => {
                 let m = mapping::codec::from_spec(spec).map_err(|e| {
@@ -526,7 +535,7 @@ impl SweepCheckpoint {
     /// Rejects resuming under different sweep parameters — a resumed run
     /// must reproduce exactly what the fresh run would have produced, and
     /// seed/budget/strategy all feed into that.
-    fn check_matches(
+    pub(crate) fn check_matches(
         &self,
         seed: u64,
         strategy: InitStrategy,
@@ -569,6 +578,21 @@ impl SweepCheckpoint {
             }
         }
         Ok(())
+    }
+
+    /// The checkpoint with every layer's wall-clock `elapsed_secs` zeroed
+    /// — the only field that differs between runs of the same sweep on
+    /// different machines (or fleet topologies). Comparing `canonical()`
+    /// serializations is how "bit-identical sweep result" is defined:
+    /// everything except elapsed time must match byte for byte. The fleet
+    /// coordinator writes checkpoints pre-canonicalized so files from 1,
+    /// 2, or N workers are directly comparable.
+    pub fn canonical(&self) -> Self {
+        let mut c = self.clone();
+        for l in &mut c.layers {
+            l.elapsed_secs = 0.0;
+        }
+        c
     }
 
     /// Serializes to JSON text.

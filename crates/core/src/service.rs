@@ -47,15 +47,20 @@
 
 use crate::driver::Mse;
 use crate::eval::{EvalCache, EvalConfig, EvalPool};
+use crate::fleet::{
+    self, ArchWire, Fleet, FleetConfig, SearchOk, ServeRole, ShardData, ShardError, ShardKind,
+    ShardOutcome, ShardSpec, WorkerLink,
+};
 use crate::json;
-use crate::runtime::RunPolicy;
+use crate::runtime::{reseed, LayerCheckpoint, RunPolicy, SweepCheckpoint};
+use crate::warmstart::{run_layer, InitStrategy, ReplayBuffer};
 use arch::Arch;
 use costmodel::{
     CostModel, DenseModel, GuardAudit, GuardConfig, GuardPolicy, GuardedModel, SparseModel,
 };
 use mappers::{
-    Budget, CrossEntropy, EdpEvaluator, Exhaustive, Gamma, HillClimb, Mapper, RandomMapper,
-    RandomPruned, Reinforce, RunError, RunStatus, SimulatedAnnealing, StandardGa,
+    score_cmp, Budget, CrossEntropy, EdpEvaluator, Exhaustive, Gamma, HillClimb, Mapper,
+    RandomMapper, RandomPruned, Reinforce, RunError, RunStatus, SimulatedAnnealing, StandardGa,
 };
 use mapping::Mapping;
 use problem::{Density, Problem};
@@ -63,6 +68,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -98,6 +104,14 @@ pub struct ServeConfig {
     /// panics mid-search, to exercise panic isolation end to end. Off by
     /// default; never enable in production.
     pub fault_injection: bool,
+    /// Fleet topology role: standalone (default), coordinator, or worker.
+    pub role: ServeRole,
+    /// Fleet timing/retry knobs (read by coordinators and workers).
+    pub fleet: FleetConfig,
+    /// Directory for service-managed sweep checkpoints. `sweep` requests
+    /// that name a `checkpoint` are rejected when this is unset — clients
+    /// must not choose arbitrary filesystem paths.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +126,9 @@ impl Default for ServeConfig {
             guard: Some(GuardPolicy::Reject),
             max_models: 32,
             fault_injection: false,
+            role: ServeRole::Standalone,
+            fleet: FleetConfig::default(),
+            checkpoint_dir: None,
         }
     }
 }
@@ -239,13 +256,36 @@ enum Work {
     Search {
         problem: Problem,
         arch: Arch,
+        arch_wire: ArchWire,
         density: Option<Density>,
         mapper: String,
         samples: usize,
         deadline: Option<Duration>,
         seed: u64,
         retries: usize,
+        /// `>= 2` fans the search out into this many independently seeded
+        /// population islands (across the fleet when one is attached),
+        /// merging to the best incumbent; `0`/`1` searches once.
+        islands: usize,
     },
+    Sweep(Box<SweepWork>),
+}
+
+/// An admitted multi-layer sweep (the fleet's main fan-out unit).
+/// Mappability was checked against the parsed arch at admission; only the
+/// wire form is kept — shards re-derive the arch from it.
+struct SweepWork {
+    layers: Vec<Problem>,
+    arch_wire: ArchWire,
+    density: Option<Density>,
+    mapper: String,
+    samples: usize,
+    seed: u64,
+    /// Resolved checkpoint path under [`ServeConfig::checkpoint_dir`].
+    checkpoint: Option<PathBuf>,
+    /// The client-facing checkpoint name (echoed in the response).
+    checkpoint_name: Option<String>,
+    resume: bool,
 }
 
 struct Shared {
@@ -261,10 +301,21 @@ struct Shared {
     guard_rejections: AtomicU64,
     /// EWMA of recent request service time in ms (backs `retry_after_ms`).
     ewma_ms: AtomicU64,
-    /// Read-half clones of live connections, shut down at drain so reader
-    /// threads unblock.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Read-half clones of live *client* connections keyed by a per-conn
+    /// token, shut down at drain so reader threads unblock. Connections
+    /// that register as fleet workers are removed from this map: shard
+    /// results must keep flowing during drain.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_token: AtomicU64,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Coordinator scheduler ([`ServeRole::Coordinator`] only).
+    fleet: Option<Arc<Fleet>>,
+    /// Link to the coordinator ([`ServeRole::Worker`] only).
+    worker_link: Option<Arc<WorkerLink>>,
+    /// Hard-kill flag ([`ServerHandle::kill`], the chaos-test stand-in
+    /// for SIGKILL): in-flight sweep drivers abandon their jobs at the
+    /// next layer boundary instead of finishing the drain.
+    aborted: AtomicBool,
 }
 
 impl Shared {
@@ -365,6 +416,9 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Fleet supervisor (coordinator) or link manager + shard executors
+    /// (worker).
+    fleet_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -381,14 +435,64 @@ impl ServerHandle {
         self.shared.queue_cv.notify_all();
     }
 
-    /// Waits for the daemon to finish draining (triggered by
-    /// [`ServerHandle::drain`] or a signal) and returns final statistics.
-    pub fn join(mut self) -> ServeStats {
+    /// Chaos hook: sever this worker daemon's link to its coordinator
+    /// (simulated worker death, as the coordinator sees it — the daemon
+    /// itself keeps serving its own clients). No-op on other roles.
+    pub fn chaos_sever_fleet_link(&self) {
+        if let Some(link) = &self.shared.worker_link {
+            link.sever();
+        }
+    }
+
+    /// Chaos hook: stop this worker daemon's heartbeats while leaving the
+    /// connection and shard execution running — forces a lease expiry
+    /// whose late results arrive as discardable duplicates. No-op on
+    /// other roles.
+    pub fn chaos_mute_fleet_link(&self) {
+        if let Some(link) = &self.shared.worker_link {
+            link.mute();
+        }
+    }
+
+    /// Hard stop — the in-process stand-in for SIGKILL in coordinator
+    /// chaos tests. Unlike [`ServerHandle::drain`], admitted sweeps are
+    /// abandoned at the next layer boundary (the checkpoint keeps the
+    /// completed prefix), connections are cut both ways, and every thread
+    /// is joined. The listen port is free when this returns.
+    pub fn kill(mut self) {
+        self.shared.aborted.store(true, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(f) = &self.shared.fleet {
+            f.shutdown();
+        }
+        if let Some(link) = &self.shared.worker_link {
+            link.sever();
+        }
+        let conns: Vec<TcpStream> = {
+            let mut c = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            c.drain().map(|(_, s)| s).collect()
+        };
+        for c in conns {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // The fleet stops only after the service workers have drained:
+        // an admitted sweep keeps its workers until its last layer lands.
+        if let Some(f) = &self.shared.fleet {
+            f.shutdown();
+        }
+        for t in self.fleet_threads.drain(..) {
+            let _ = t.join();
         }
         let readers: Vec<JoinHandle<()>> = {
             let mut r = self.shared.readers.lock().unwrap_or_else(|e| e.into_inner());
@@ -397,6 +501,12 @@ impl ServerHandle {
         for r in readers {
             let _ = r.join();
         }
+    }
+
+    /// Waits for the daemon to finish draining (triggered by
+    /// [`ServerHandle::drain`] or a signal) and returns final statistics.
+    pub fn join(mut self) -> ServeStats {
+        self.join_threads();
         let c = &self.shared.counters;
         ServeStats {
             uptime_secs: self.shared.started.elapsed().as_secs_f64(),
@@ -425,6 +535,14 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let workers = cfg.resolved_workers();
     let pool = EvalPool::new(cfg.eval);
+    let (fleet_sched, worker_link) = match &cfg.role {
+        ServeRole::Coordinator => (Some(Arc::new(Fleet::new(cfg.fleet.clone()))), None),
+        ServeRole::Worker { coordinator } => (
+            None,
+            Some(Arc::new(WorkerLink::new(cfg.fleet.clone(), coordinator.clone(), workers))),
+        ),
+        ServeRole::Standalone => (None, None),
+    };
     let shared = Arc::new(Shared {
         cfg,
         started: Instant::now(),
@@ -437,8 +555,12 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         guard_violations: AtomicU64::new(0),
         guard_rejections: AtomicU64::new(0),
         ewma_ms: AtomicU64::new(0),
-        conns: Mutex::new(Vec::new()),
+        conns: Mutex::new(HashMap::new()),
+        conn_token: AtomicU64::new(1),
         readers: Mutex::new(Vec::new()),
+        fleet: fleet_sched,
+        worker_link,
+        aborted: AtomicBool::new(false),
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -450,7 +572,20 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
             std::thread::spawn(move || worker_loop(&shared))
         })
         .collect();
-    Ok(ServerHandle { addr, shared, accept: Some(accept), workers: worker_handles })
+    let mut fleet_threads = Vec::new();
+    if let Some(f) = &shared.fleet {
+        fleet_threads.push(Fleet::spawn_supervisor(Arc::clone(f)));
+    }
+    if let Some(link) = &shared.worker_link {
+        let drain_view = Arc::clone(&shared);
+        fleet_threads
+            .push(WorkerLink::spawn_manager(Arc::clone(link), move || drain_view.should_drain()));
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            fleet_threads.push(std::thread::spawn(move || worker_shard_loop(&shared)));
+        }
+    }
+    Ok(ServerHandle { addr, shared, accept: Some(accept), workers: worker_handles, fleet_threads })
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -459,11 +594,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             Ok((stream, _)) => {
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
+                let token = shared.conn_token.fetch_add(1, Ordering::Relaxed);
                 if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+                    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).insert(token, clone);
                 }
                 let shared2 = Arc::clone(shared);
-                let handle = std::thread::spawn(move || reader_loop(stream, &shared2));
+                let handle = std::thread::spawn(move || reader_loop(stream, &shared2, token));
                 shared.readers.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -481,7 +617,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     shared.queue_cv.notify_all();
     let conns: Vec<TcpStream> = {
         let mut c = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
-        c.drain(..).collect()
+        c.drain().map(|(_, s)| s).collect()
     };
     for c in conns {
         let _ = c.shutdown(Shutdown::Read);
@@ -579,39 +715,51 @@ fn read_bounded_line(r: &mut BufReader<TcpStream>, max: usize) -> std::io::Resul
     }
 }
 
-fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_bounded_line(&mut reader, shared.cfg.max_request_bytes) {
-            Ok(LineRead::Eof) | Err(_) => return,
-            Ok(LineRead::TooLong) => {
-                shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
-                let err = ServiceError::permanent(
-                    "request-too-large",
-                    format!("request line exceeds {} bytes", shared.cfg.max_request_bytes),
-                );
-                write_line(&writer, &err.render("null"));
-                // A line protocol cannot resynchronize after an oversized
-                // line; close rather than misparse.
-                return;
-            }
-            Ok(LineRead::Line(bytes)) => {
-                if bytes.iter().all(|b| b.is_ascii_whitespace()) {
-                    continue;
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, token: u64) {
+    // `worker_id` is set iff this connection registered as a fleet
+    // worker; its death must then re-dispatch that worker's shards.
+    let mut worker_id: Option<u64> = None;
+    if let Ok(w) = stream.try_clone() {
+        let writer = Arc::new(Mutex::new(w));
+        let mut reader = BufReader::new(stream);
+        loop {
+            match read_bounded_line(&mut reader, shared.cfg.max_request_bytes) {
+                Ok(LineRead::Eof) | Err(_) => break,
+                Ok(LineRead::TooLong) => {
+                    shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    let err = ServiceError::permanent(
+                        "request-too-large",
+                        format!("request line exceeds {} bytes", shared.cfg.max_request_bytes),
+                    );
+                    write_line(&writer, &err.render("null"));
+                    // A line protocol cannot resynchronize after an
+                    // oversized line; close rather than misparse.
+                    break;
                 }
-                handle_line(shared, &writer, &bytes);
+                Ok(LineRead::Line(bytes)) => {
+                    if bytes.iter().all(|b| b.is_ascii_whitespace()) {
+                        continue;
+                    }
+                    handle_line(shared, &writer, &bytes, token, &mut worker_id);
+                }
             }
         }
+    }
+    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&token);
+    if let (Some(fleet), Some(wid)) = (&shared.fleet, worker_id) {
+        fleet.disconnected(wid);
     }
 }
 
 /// Parses, validates, and either answers inline (control ops, rejections,
 /// malformed input) or admits the request to the work queue.
-fn handle_line(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, bytes: &[u8]) {
+fn handle_line(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    bytes: &[u8],
+    token: u64,
+    worker_id: &mut Option<u64>,
+) {
     let invalid = |err: ServiceError, id: &str| {
         shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
         write_line(writer, &err.render(id));
@@ -647,6 +795,7 @@ fn handle_line(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, bytes: &[u8
     match op {
         "ping" => write_line(writer, &format!("{{\"id\": {id}, \"ok\": true, \"op\": \"pong\"}}")),
         "stats" => write_line(writer, &render_stats(shared, &id)),
+        "health" => write_line(writer, &render_health(shared, &id)),
         "validate" => match parse_validate(&doc) {
             Ok(line) => write_line(writer, &format!("{{\"id\": {id}, \"ok\": true, {line}}}")),
             Err(err) => invalid(err, &id),
@@ -657,6 +806,60 @@ fn handle_line(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, bytes: &[u8
                 Err(err) => return invalid(err, &id),
             };
             admit(shared, writer, Job { id, work, writer: Arc::clone(writer) });
+        }
+        "sweep" => {
+            let work = match parse_sweep(shared, &doc) {
+                Ok(w) => w,
+                Err(err) => return invalid(err, &id),
+            };
+            admit(shared, writer, Job { id, work, writer: Arc::clone(writer) });
+        }
+        // --- fleet channel (worker → coordinator), same listener -------
+        "register-worker" => match &shared.fleet {
+            Some(f) => {
+                // This connection is now a worker channel: exempt it from
+                // the drain-time read shutdown (results flow during
+                // drain), and track it for re-dispatch on death.
+                shared.conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&token);
+                let slots = doc.get("slots").and_then(json::Value::as_usize).unwrap_or(1);
+                let wid = f.register(Arc::clone(writer), slots);
+                *worker_id = Some(wid);
+                write_line(
+                    writer,
+                    &format!(
+                        "{{\"id\": {id}, \"ok\": true, \"op\": \"registered\", \
+                         \"worker\": {wid}, \"heartbeat_ms\": {}, \"lease_ms\": {}}}",
+                        f.config().heartbeat_ms,
+                        f.config().lease_ms,
+                    ),
+                );
+            }
+            None => invalid(
+                ServiceError::permanent("bad-request", "this daemon is not a coordinator"),
+                &id,
+            ),
+        },
+        // Fire-and-forget worker traffic: never answered (a reply would
+        // desynchronize the worker's line protocol), ignored unless the
+        // connection actually registered.
+        "heartbeat" => {
+            if let (Some(f), Some(wid)) = (&shared.fleet, *worker_id) {
+                f.touch(wid);
+            }
+        }
+        "deregister" => {
+            if let (Some(f), Some(wid)) = (&shared.fleet, *worker_id) {
+                f.deregister(wid);
+            }
+        }
+        "shard-result" => {
+            if let (Some(f), Some(wid)) = (&shared.fleet, *worker_id) {
+                // A malformed result is dropped: the lease/retry machinery
+                // re-dispatches the shard as if it never came back.
+                if let Ok((sid, outcome)) = fleet::parse_shard_result(&doc) {
+                    f.result(wid, &sid, outcome);
+                }
+            }
         }
         other => invalid(
             ServiceError::permanent("bad-request", format!("unknown op `{other}`")),
@@ -742,18 +945,46 @@ fn parse_problem_field(doc: &json::Value) -> Result<Problem, ServiceError> {
     ))
 }
 
-fn parse_arch_field(doc: &json::Value) -> Result<Arch, ServiceError> {
+/// Parses the architecture and keeps its wire form — the coordinator
+/// re-ships the *original* client encoding to workers, never a re-derived
+/// one.
+fn parse_arch_field(doc: &json::Value) -> Result<(Arch, ArchWire), ServiceError> {
     if let Some(toml) = doc.get("arch_toml").and_then(json::Value::as_str) {
-        return spec::parse_arch(toml)
-            .map_err(|e| ServiceError::permanent("bad-spec", format!("arch_toml: {e}")));
+        let arch = spec::parse_arch(toml)
+            .map_err(|e| ServiceError::permanent("bad-spec", format!("arch_toml: {e}")))?;
+        return Ok((arch, ArchWire::Toml(toml.to_string())));
     }
-    match doc.get("arch").and_then(json::Value::as_str).unwrap_or("accel-b") {
-        "accel-a" => Ok(Arch::accel_a()),
-        "accel-b" => Ok(Arch::accel_b()),
-        other => Err(ServiceError::permanent(
-            "bad-request",
-            format!("unknown arch `{other}` (accel-a | accel-b, or pass arch_toml)"),
-        )),
+    let name = doc.get("arch").and_then(json::Value::as_str).unwrap_or("accel-b");
+    let arch = match name {
+        "accel-a" => Arch::accel_a(),
+        "accel-b" => Arch::accel_b(),
+        other => {
+            return Err(ServiceError::permanent(
+                "bad-request",
+                format!("unknown arch `{other}` (accel-a | accel-b, or pass arch_toml)"),
+            ))
+        }
+    };
+    Ok((arch, ArchWire::Preset(name.to_string())))
+}
+
+/// Resolves a preset/TOML wire form back to an [`Arch`] (worker side).
+fn arch_from_wire(wire: &ArchWire) -> Result<Arch, ShardError> {
+    match wire {
+        ArchWire::Preset(name) => match name.as_str() {
+            "accel-a" => Ok(Arch::accel_a()),
+            "accel-b" => Ok(Arch::accel_b()),
+            other => Err(ShardError {
+                kind: ErrorKind::Permanent,
+                code: "bad-request".to_string(),
+                message: format!("unknown arch preset `{other}`"),
+            }),
+        },
+        ArchWire::Toml(toml) => spec::parse_arch(toml).map_err(|e| ShardError {
+            kind: ErrorKind::Permanent,
+            code: "bad-spec".to_string(),
+            message: format!("arch_toml: {e}"),
+        }),
     }
 }
 
@@ -780,7 +1011,7 @@ fn parse_density_fields(doc: &json::Value) -> Result<Option<Density>, ServiceErr
 
 fn parse_work(shared: &Shared, op: &str, doc: &json::Value) -> Result<Work, ServiceError> {
     let problem = parse_problem_field(doc)?;
-    let arch = parse_arch_field(doc)?;
+    let (arch, arch_wire) = parse_arch_field(doc)?;
     let density = parse_density_fields(doc)?;
     // An unmappable pairing would burn a whole deadline discovering there
     // is nothing to find; reject it at admission instead.
@@ -839,18 +1070,145 @@ fn parse_work(shared: &Shared, op: &str, doc: &json::Value) -> Result<Work, Serv
                     ServiceError::permanent("bad-request", "`retries` must be a non-negative integer")
                 })? as usize,
             };
+            let islands = match doc.get("islands") {
+                None | Some(json::Value::Null) => 0,
+                Some(v) => v.as_usize().ok_or_else(|| {
+                    ServiceError::permanent("bad-request", "`islands` must be a non-negative integer")
+                })?,
+            };
+            if islands > 64 {
+                return Err(ServiceError::permanent("bad-request", "`islands` must be <= 64"));
+            }
+            if islands >= 2 && samples < islands {
+                return Err(ServiceError::permanent(
+                    "bad-request",
+                    "`samples` must be at least `islands` (every island needs a budget)",
+                ));
+            }
             Ok(Work::Search {
                 problem,
                 arch,
+                arch_wire,
                 density,
                 mapper,
                 samples,
                 deadline: deadline_ms.map(Duration::from_millis),
                 seed,
                 retries,
+                islands,
             })
         }
     }
+}
+
+/// A checkpoint name a client may use: a plain filename, no path
+/// traversal, and never colliding with the checkpoint code's own `.bak`
+/// rolling-backup / `.tmp` staging siblings.
+fn sanitize_checkpoint_name(name: &str) -> Result<(), ServiceError> {
+    let bad = |msg: &str| Err(ServiceError::permanent("bad-request", format!("checkpoint: {msg}")));
+    if name.is_empty() || name.len() > 128 {
+        return bad("name must be 1..=128 characters");
+    }
+    if !name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')) {
+        return bad("name may contain only [A-Za-z0-9._-]");
+    }
+    if name.starts_with('.') {
+        return bad("name must not start with '.'");
+    }
+    if name.ends_with(".bak") || name.ends_with(".tmp") {
+        return bad("names ending in .bak/.tmp are reserved for the checkpoint writer");
+    }
+    Ok(())
+}
+
+fn parse_sweep(shared: &Shared, doc: &json::Value) -> Result<Work, ServiceError> {
+    let layer_values = doc
+        .get("layers")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| ServiceError::permanent("bad-request", "sweep needs an array `layers`"))?;
+    if layer_values.is_empty() {
+        return Err(ServiceError::permanent("bad-request", "`layers` must be non-empty"));
+    }
+    if layer_values.len() > 1024 {
+        return Err(ServiceError::permanent("bad-request", "`layers` must have <= 1024 entries"));
+    }
+    let (arch, arch_wire) = parse_arch_field(doc)?;
+    let density = parse_density_fields(doc)?;
+    let mut layers = Vec::with_capacity(layer_values.len());
+    for (i, v) in layer_values.iter().enumerate() {
+        let line = v.as_str().ok_or_else(|| {
+            ServiceError::permanent("bad-request", format!("layers[{i}] must be a codec string"))
+        })?;
+        let p = problem::codec::from_spec(line)
+            .map_err(|e| ServiceError::permanent("bad-spec", format!("layers[{i}]: {e}")))?;
+        let space = mapping::MapSpace::new(p.clone(), arch.clone());
+        if !space.is_mappable() {
+            return Err(ServiceError::permanent(
+                "unmappable",
+                format!("layers[{i}] `{}` cannot be mapped onto `{}`", p.name(), arch.name()),
+            ));
+        }
+        layers.push(p);
+    }
+    let mapper = doc.get("mapper").and_then(json::Value::as_str).unwrap_or("gamma").to_string();
+    if mapper_by_name(&mapper, shared.cfg.fault_injection).is_none() {
+        return Err(ServiceError::permanent("bad-request", format!("unknown mapper `{mapper}`")));
+    }
+    let samples = match doc.get("samples") {
+        None | Some(json::Value::Null) => 2_000,
+        Some(v) => v.as_usize().ok_or_else(|| {
+            ServiceError::permanent("bad-request", "`samples` must be a non-negative integer")
+        })?,
+    };
+    let seed = match doc.get("seed") {
+        None | Some(json::Value::Null) => 0,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ServiceError::permanent("bad-request", "`seed` must be a non-negative integer")
+        })?,
+    };
+    let checkpoint_name = match doc.get("checkpoint") {
+        None | Some(json::Value::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| {
+                    ServiceError::permanent("bad-request", "`checkpoint` must be a string name")
+                })?
+                .to_string(),
+        ),
+    };
+    let checkpoint = match &checkpoint_name {
+        Some(name) => {
+            sanitize_checkpoint_name(name)?;
+            let dir = shared.cfg.checkpoint_dir.as_ref().ok_or_else(|| {
+                ServiceError::permanent(
+                    "bad-request",
+                    "this daemon has no checkpoint directory (start it with --checkpoint-dir)",
+                )
+            })?;
+            Some(dir.join(name))
+        }
+        None => None,
+    };
+    let resume = match doc.get("resume") {
+        None | Some(json::Value::Null) => false,
+        Some(v) => v.as_bool().ok_or_else(|| {
+            ServiceError::permanent("bad-request", "`resume` must be a boolean")
+        })?,
+    };
+    if resume && checkpoint.is_none() {
+        return Err(ServiceError::permanent("bad-request", "`resume` needs a `checkpoint`"));
+    }
+    Ok(Work::Sweep(Box::new(SweepWork {
+        layers,
+        arch_wire,
+        density,
+        mapper,
+        samples,
+        seed,
+        checkpoint,
+        checkpoint_name,
+        resume,
+    })))
 }
 
 // ---------------------------------------------------------------------------
@@ -956,12 +1314,22 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> String {
         Work::Evaluate { problem, arch, density, mapping } => {
             execute_evaluate(shared, &job.id, problem, arch, *density, mapping)
         }
-        Work::Search { problem, arch, density, mapper, samples, deadline, seed, retries } => {
-            execute_search(
-                shared, &job.id, problem, arch, *density, mapper, *samples, *deadline, *seed,
-                *retries,
-            )
-        }
+        Work::Search {
+            problem,
+            arch,
+            arch_wire,
+            density,
+            mapper,
+            samples,
+            deadline,
+            seed,
+            retries,
+            islands,
+        } => execute_search(
+            shared, &job.id, problem, arch, arch_wire, *density, mapper, *samples, *deadline,
+            *seed, *retries, *islands,
+        ),
+        Work::Sweep(sweep) => execute_sweep(shared, &job.id, sweep),
     }
 }
 
@@ -1000,10 +1368,12 @@ fn execute_evaluate(
     }
 }
 
+/// One self-contained search run (a whole request, or one island of a
+/// fanned-out one), returning wire-portable data instead of a rendered
+/// response so fleet shards and direct requests share the exact path.
 #[allow(clippy::too_many_arguments)]
-fn execute_search(
+fn run_search_core(
     shared: &Arc<Shared>,
-    id: &str,
     problem: &Problem,
     arch: &Arch,
     density: Option<Density>,
@@ -1012,10 +1382,12 @@ fn execute_search(
     deadline: Option<Duration>,
     seed: u64,
     retries: usize,
-) -> String {
+) -> Result<SearchOk, ServiceError> {
     let Some(mapper) = mapper_by_name(mapper_name, shared.cfg.fault_injection) else {
-        return ServiceError::permanent("bad-request", format!("unknown mapper `{mapper_name}`"))
-            .render(id);
+        return Err(ServiceError::permanent(
+            "bad-request",
+            format!("unknown mapper `{mapper_name}`"),
+        ));
     };
     let model = make_model(problem, arch, density);
     // The budget tells the mapper to aim for 90% of the deadline; the
@@ -1084,25 +1456,534 @@ fn execute_search(
                 shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
             }
             let after = cache.stats();
-            format!(
-                "{{\"id\": {id}, \"ok\": true, \"degraded\": {degraded}, \"status\": \"{status}\", \
-                 \"score\": {}, \"latency_cycles\": {}, \"energy_uj\": {}, \"mapping\": {}, \
-                 \"evaluated\": {}, \"elapsed_ms\": {}, \"attempts\": {}, \"cache_hits\": {}}}",
-                json::num(r.best_score),
-                json::num(cost.latency_cycles),
-                json::num(cost.energy_uj),
-                json::escape(&mapping::codec::to_spec(best)),
-                r.evaluated,
-                r.elapsed.as_millis(),
-                outcome.attempts.len(),
-                after.hits.saturating_sub(cache_before.hits),
-            )
+            Ok(SearchOk {
+                degraded,
+                status: status.to_string(),
+                score: r.best_score,
+                latency_cycles: cost.latency_cycles,
+                energy_uj: cost.energy_uj,
+                mapping: mapping::codec::to_spec(best),
+                evaluated: r.evaluated,
+                elapsed_ms: r.elapsed.as_millis() as u64,
+                attempts: outcome.attempts.len(),
+                cache_hits: after.hits.saturating_sub(cache_before.hits),
+            })
         }
         None => {
             let last_error = outcome.attempts.iter().rev().find_map(|a| a.error.as_ref());
-            run_error_response(shared, last_error).render(id)
+            Err(run_error_response(shared, last_error))
         }
     }
+}
+
+fn render_search_ok(id: &str, ok: &SearchOk, islands: Option<usize>) -> String {
+    let mut s = format!(
+        "{{\"id\": {id}, \"ok\": true, \"degraded\": {}, \"status\": {}, \
+         \"score\": {}, \"latency_cycles\": {}, \"energy_uj\": {}, \"mapping\": {}, \
+         \"evaluated\": {}, \"elapsed_ms\": {}, \"attempts\": {}, \"cache_hits\": {}",
+        ok.degraded,
+        json::escape(&ok.status),
+        json::num(ok.score),
+        json::num(ok.latency_cycles),
+        json::num(ok.energy_uj),
+        json::escape(&ok.mapping),
+        ok.evaluated,
+        ok.elapsed_ms,
+        ok.attempts,
+        ok.cache_hits,
+    );
+    if let Some(k) = islands {
+        s.push_str(&format!(", \"islands\": {k}"));
+    }
+    s.push('}');
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_search(
+    shared: &Arc<Shared>,
+    id: &str,
+    problem: &Problem,
+    arch: &Arch,
+    arch_wire: &ArchWire,
+    density: Option<Density>,
+    mapper_name: &str,
+    samples: usize,
+    deadline: Option<Duration>,
+    seed: u64,
+    retries: usize,
+    islands: usize,
+) -> String {
+    if islands < 2 {
+        return match run_search_core(
+            shared, problem, arch, density, mapper_name, samples, deadline, seed, retries,
+        ) {
+            Ok(ok) => render_search_ok(id, &ok, None),
+            Err(e) => e.render(id),
+        };
+    }
+    // Island fan-out: deterministic sample split (remainder to the lowest
+    // indices) and per-island seeds derived from (seed, island index) —
+    // island results are topology-invariant, so fleet and local execution
+    // merge to the same incumbent.
+    let base = samples / islands;
+    let rem = samples % islands;
+    let spec_for = |i: usize| ShardSpec {
+        id: String::new(),
+        kind: ShardKind::Island { index: i },
+        problem: problem::codec::to_spec(problem),
+        arch: arch_wire.clone(),
+        weight_density: density.map_or(1.0, |d| d.weight),
+        input_density: density.map_or(1.0, |d| d.input),
+        mapper: mapper_name.to_string(),
+        samples: base + usize::from(i < rem),
+        seed: reseed(seed, i as u64),
+        retries,
+        deadline_ms: deadline.map(|d| d.as_millis() as u64),
+    };
+    let outcomes: Vec<Option<ShardOutcome>> = match &shared.fleet {
+        Some(fleet) => {
+            let job = fleet.new_job();
+            let specs = (0..islands)
+                .map(|i| ShardSpec { id: fleet.shard_id(job, i), ..spec_for(i) })
+                .collect();
+            fleet.submit(job, specs);
+            let collected = drive_fleet_job(shared, fleet, job, islands);
+            fleet.finish_job(job);
+            collected
+        }
+        None => (0..islands).map(|i| Some(execute_shard(shared, &spec_for(i)))).collect(),
+    };
+    // Merge in island order: strictly-better wins, so ties keep the
+    // lowest index and the incumbent is independent of arrival order.
+    let mut best: Option<SearchOk> = None;
+    let mut first_err: Option<ShardError> = None;
+    let (mut evaluated, mut attempts, mut cache_hits, mut elapsed_ms) = (0usize, 0usize, 0u64, 0u64);
+    for out in outcomes {
+        match out {
+            Some(Ok(ShardData::Island(ok))) => {
+                evaluated += ok.evaluated;
+                attempts += ok.attempts;
+                cache_hits += ok.cache_hits;
+                elapsed_ms = elapsed_ms.max(ok.elapsed_ms);
+                if best.as_ref().is_none_or(|b| score_cmp(ok.score, b.score).is_lt()) {
+                    best = Some(ok);
+                }
+            }
+            Some(Ok(ShardData::Layer(_))) => {
+                first_err.get_or_insert(ShardError {
+                    kind: ErrorKind::Transient,
+                    code: "internal".to_string(),
+                    message: "island shard returned a layer result".to_string(),
+                });
+            }
+            Some(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            None => {
+                first_err.get_or_insert(ShardError {
+                    kind: ErrorKind::Transient,
+                    code: "draining".to_string(),
+                    message: "daemon shut down before the island completed".to_string(),
+                });
+            }
+        }
+    }
+    match best {
+        Some(mut b) => {
+            b.evaluated = evaluated;
+            b.attempts = attempts;
+            b.cache_hits = cache_hits;
+            b.elapsed_ms = elapsed_ms;
+            render_search_ok(id, &b, Some(islands))
+        }
+        None => {
+            let e = first_err.expect("no islands ran");
+            shard_error_response(shared, &e).render(id)
+        }
+    }
+}
+
+/// Collects every shard of `job` (in index order), executing locally when
+/// no workers are live, until all are in or the daemon is killed.
+fn drive_fleet_job(
+    shared: &Arc<Shared>,
+    fleet: &Arc<Fleet>,
+    job: u64,
+    count: usize,
+) -> Vec<Option<ShardOutcome>> {
+    let mut results: Vec<Option<ShardOutcome>> = (0..count).map(|_| None).collect();
+    let mut remaining = count;
+    while remaining > 0 {
+        if shared.aborted.load(Ordering::SeqCst) {
+            break;
+        }
+        // Liveness without a fleet: the coordinator executes pending
+        // shards itself whenever zero workers hold a live lease.
+        if let Some(spec) = fleet.claim_local(job) {
+            let out = execute_shard(shared, &spec);
+            fleet.complete_local(&spec.id, out);
+            continue;
+        }
+        let mut progress = false;
+        for (i, slot) in results.iter_mut().enumerate() {
+            if slot.is_none() {
+                if let Some(out) = fleet.take_outcome(&fleet.shard_id(job, i)) {
+                    *slot = Some(out);
+                    remaining -= 1;
+                    progress = true;
+                }
+            }
+        }
+        if !progress {
+            fleet.wait(Duration::from_millis(50));
+        }
+    }
+    results
+}
+
+// ---------------------------------------------------------------------------
+// Fleet shard execution (worker daemons and the coordinator's local
+// fallback share this path bit for bit)
+// ---------------------------------------------------------------------------
+
+/// Executes one fleet shard, panic-isolated: a poisoned shard becomes a
+/// transient wire error the coordinator can re-dispatch.
+fn execute_shard(shared: &Arc<Shared>, spec: &ShardSpec) -> ShardOutcome {
+    match catch_unwind(AssertUnwindSafe(|| execute_shard_inner(shared, spec))) {
+        Ok(out) => out,
+        Err(payload) => Err(ShardError {
+            kind: ErrorKind::Transient,
+            code: "shard-panicked".to_string(),
+            message: format!(
+                "shard handler panicked: {}",
+                crate::fault::panic_message(&*payload)
+            ),
+        }),
+    }
+}
+
+fn execute_shard_inner(shared: &Arc<Shared>, spec: &ShardSpec) -> ShardOutcome {
+    let perm = |code: &str, message: String| ShardError {
+        kind: ErrorKind::Permanent,
+        code: code.to_string(),
+        message,
+    };
+    let problem = problem::codec::from_spec(&spec.problem)
+        .map_err(|e| perm("bad-spec", format!("problem: {e}")))?;
+    let arch = arch_from_wire(&spec.arch)?;
+    // Must mirror `parse_density_fields` exactly: whether density 1.0
+    // means "dense model" or "sparse model at 1.0" changes scores, and
+    // coordinator and worker have to agree bit for bit.
+    let density = if spec.weight_density == 1.0 && spec.input_density == 1.0 {
+        None
+    } else {
+        Some(Density { weight: spec.weight_density, input: spec.input_density })
+    };
+    match spec.kind {
+        ShardKind::Layer { index } => {
+            let Some(mut mapper) = mapper_by_name(&spec.mapper, shared.cfg.fault_injection)
+            else {
+                return Err(perm("bad-request", format!("unknown mapper `{}`", spec.mapper)));
+            };
+            let model = make_model(&problem, &arch, density);
+            // Random-init layers read nothing from the replay buffer, so
+            // an empty one reproduces the single-process sweep exactly;
+            // per-layer seeds derive from the *global* layer index.
+            let buffer = ReplayBuffer::new();
+            let budget = Budget::samples(spec.samples);
+            let outcome = match shared.cfg.guard {
+                Some(gp) => {
+                    let guarded = GuardedModel::new(model, guard_config(gp, density));
+                    run_layer(
+                        index,
+                        &problem,
+                        &arch,
+                        &buffer,
+                        InitStrategy::Random,
+                        budget,
+                        spec.seed,
+                        &guarded,
+                        &mut mapper,
+                    )
+                }
+                None => run_layer(
+                    index,
+                    &problem,
+                    &arch,
+                    &buffer,
+                    InitStrategy::Random,
+                    budget,
+                    spec.seed,
+                    model.as_ref(),
+                    &mut mapper,
+                ),
+            };
+            let mut lc = LayerCheckpoint::from_outcome(&outcome);
+            // Wall clock is the only topology-dependent field; zero it at
+            // the source so checkpoints are byte-comparable across 1..N
+            // workers.
+            lc.elapsed_secs = 0.0;
+            Ok(ShardData::Layer(lc))
+        }
+        ShardKind::Island { .. } => run_search_core(
+            shared,
+            &problem,
+            &arch,
+            density,
+            &spec.mapper,
+            spec.samples,
+            spec.deadline_ms.map(Duration::from_millis),
+            spec.seed,
+            spec.retries,
+        )
+        .map(ShardData::Island)
+        .map_err(|e| ShardError { kind: e.kind, code: e.code.to_string(), message: e.message }),
+    }
+}
+
+/// Worker daemons: executor threads popping shards off the link queue.
+fn worker_shard_loop(shared: &Arc<Shared>) {
+    let Some(link) = shared.worker_link.as_ref() else { return };
+    loop {
+        match link.next_shard(Duration::from_millis(250)) {
+            Some(spec) => {
+                // Straggler injection for the work-stealing chaos tests.
+                let delay = shared.cfg.fleet.shard_delay_ms;
+                if shared.cfg.fault_injection && delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                let out = execute_shard(shared, &spec);
+                link.send_result(&fleet::render_shard_result(&spec.id, &out));
+                link.finish_shard();
+            }
+            None => {
+                if shared.aborted.load(Ordering::SeqCst)
+                    || (shared.should_drain() && !link.pending_work())
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep driver (coordinator / standalone)
+// ---------------------------------------------------------------------------
+
+fn execute_sweep(shared: &Arc<Shared>, id: &str, w: &SweepWork) -> String {
+    let budget = Budget::samples(w.samples);
+    let mut ckpt = SweepCheckpoint::new(w.seed, InitStrategy::Random, budget);
+    if w.resume {
+        let path = w.checkpoint.as_ref().expect("resume implies checkpoint");
+        if path.exists() {
+            match SweepCheckpoint::load(path) {
+                Ok(loaded) => {
+                    if let Err(e) =
+                        loaded.check_matches(w.seed, InitStrategy::Random, budget, &w.layers)
+                    {
+                        return ServiceError::permanent("checkpoint-mismatch", e.to_string())
+                            .render(id);
+                    }
+                    // Stored elapsed times are already zero (we write
+                    // canonicalized), but never trust a file to stay
+                    // canonical.
+                    ckpt = loaded.canonical();
+                }
+                Err(e) => {
+                    return ServiceError::permanent("checkpoint-corrupt", e.to_string())
+                        .render(id)
+                }
+            }
+        }
+    }
+    let start = ckpt.layers.len();
+    let n = w.layers.len();
+    let spec_for = |i: usize| ShardSpec {
+        id: String::new(),
+        kind: ShardKind::Layer { index: i },
+        problem: problem::codec::to_spec(&w.layers[i]),
+        arch: w.arch_wire.clone(),
+        weight_density: w.density.map_or(1.0, |d| d.weight),
+        input_density: w.density.map_or(1.0, |d| d.input),
+        mapper: w.mapper.clone(),
+        samples: w.samples,
+        seed: w.seed,
+        retries: 0,
+        deadline_ms: None,
+    };
+    let flush = |ckpt: &SweepCheckpoint| -> Result<(), ServiceError> {
+        match &w.checkpoint {
+            Some(path) => ckpt.save(path).map_err(|e| {
+                ServiceError::transient("checkpoint-io", e.to_string(), Some(1_000))
+            }),
+            None => Ok(()),
+        }
+    };
+    let aborted_err = || {
+        ServiceError::transient(
+            "draining",
+            "daemon stopped before the sweep finished; resume from the checkpoint",
+            Some(1_000),
+        )
+    };
+    // Exactly-once accounting lives here: layers are flushed to the
+    // checkpoint strictly in order, each exactly once, regardless of how
+    // many duplicate shard results the fleet produced. A restart re-reads
+    // the flushed prefix and the derived per-layer seeds reproduce the
+    // rest bit-identically.
+    let result: Result<(), ServiceError> = match &shared.fleet {
+        Some(fleet) => {
+            let job = fleet.new_job();
+            let specs =
+                (start..n).map(|i| ShardSpec { id: fleet.shard_id(job, i), ..spec_for(i) }).collect();
+            fleet.submit(job, specs);
+            let mut drive = || -> Result<(), ServiceError> {
+                let mut next = start;
+                while next < n {
+                    if shared.aborted.load(Ordering::SeqCst) {
+                        return Err(aborted_err());
+                    }
+                    if let Some(spec) = fleet.claim_local(job) {
+                        let out = execute_shard(shared, &spec);
+                        fleet.complete_local(&spec.id, out);
+                        continue;
+                    }
+                    match fleet.take_outcome(&fleet.shard_id(job, next)) {
+                        Some(Ok(ShardData::Layer(mut lc))) => {
+                            lc.elapsed_secs = 0.0;
+                            ckpt.layers.push(lc);
+                            flush(&ckpt)?;
+                            next += 1;
+                        }
+                        Some(Ok(ShardData::Island(_))) => {
+                            return Err(ServiceError::transient(
+                                "internal",
+                                "layer shard returned an island result",
+                                None,
+                            ))
+                        }
+                        Some(Err(e)) => return Err(shard_error_response(shared, &e)),
+                        None => fleet.wait(Duration::from_millis(50)),
+                    }
+                }
+                Ok(())
+            };
+            let r = drive();
+            fleet.finish_job(job);
+            r
+        }
+        None => {
+            let mut r = Ok(());
+            for i in start..n {
+                if shared.aborted.load(Ordering::SeqCst) {
+                    r = Err(aborted_err());
+                    break;
+                }
+                match execute_shard(shared, &spec_for(i)) {
+                    Ok(ShardData::Layer(mut lc)) => {
+                        lc.elapsed_secs = 0.0;
+                        ckpt.layers.push(lc);
+                        if let Err(e) = flush(&ckpt) {
+                            r = Err(e);
+                            break;
+                        }
+                    }
+                    Ok(ShardData::Island(_)) => {
+                        r = Err(ServiceError::transient(
+                            "internal",
+                            "layer shard returned an island result",
+                            None,
+                        ));
+                        break;
+                    }
+                    Err(e) => {
+                        r = Err(shard_error_response(shared, &e));
+                        break;
+                    }
+                }
+            }
+            r
+        }
+    };
+    if let Err(e) = result {
+        return e.render(id);
+    }
+    let mut layers_json = String::new();
+    for (i, l) in ckpt.layers.iter().enumerate() {
+        if i > 0 {
+            layers_json.push_str(", ");
+        }
+        layers_json.push_str(&format!(
+            "{{\"name\": {}, \"best_score\": {}, \"mapping\": {}, \"evaluated\": {}, \
+             \"converge_sample\": {}}}",
+            json::escape(&l.name),
+            json::num(l.best_score),
+            l.mapping.as_ref().map_or_else(|| "null".to_string(), |m| json::escape(m)),
+            l.evaluated,
+            l.converge_sample,
+        ));
+    }
+    let fleet_json = shared.fleet.as_ref().map_or_else(
+        || "null".to_string(),
+        |f| {
+            format!(
+                "{{\"workers\": {}, \"dispatched\": {}, \"redispatched\": {}, \"stolen\": {}, \
+                 \"duplicates_discarded\": {}}}",
+                f.live_workers(),
+                f.counters.dispatched.load(Ordering::Relaxed),
+                f.counters.redispatched.load(Ordering::Relaxed),
+                f.counters.stolen.load(Ordering::Relaxed),
+                f.counters.duplicates_discarded.load(Ordering::Relaxed),
+            )
+        },
+    );
+    format!(
+        "{{\"id\": {id}, \"ok\": true, \"layers_total\": {n}, \"layers_from_checkpoint\": {start}, \
+         \"checkpoint\": {}, \"layers\": [{layers_json}], \"fleet\": {fleet_json}}}",
+        w.checkpoint_name.as_ref().map_or_else(|| "null".to_string(), |s| json::escape(s)),
+    )
+}
+
+/// Maps a wire shard failure back onto a client-facing [`ServiceError`].
+fn shard_error_response(shared: &Shared, e: &ShardError) -> ServiceError {
+    let code = intern_code(&e.code);
+    match e.kind {
+        ErrorKind::Permanent => ServiceError::permanent(code, e.message.clone()),
+        ErrorKind::Transient => {
+            ServiceError::transient(code, e.message.clone(), Some(shared.retry_hint(0)))
+        }
+    }
+}
+
+/// `ServiceError.code` is `&'static str`; wire codes arrive as owned
+/// strings. Known codes intern to their static form; anything a newer (or
+/// malicious) worker invents degrades to `shard-failed`.
+fn intern_code(code: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "overloaded",
+        "draining",
+        "mapper-panicked",
+        "deadline-exceeded",
+        "bad-json",
+        "bad-spec",
+        "bad-request",
+        "unmappable",
+        "no-legal-mapping",
+        "invariant-violation",
+        "request-too-large",
+        "internal-panic",
+        "internal",
+        "non-finite-score",
+        "illegal-mapping",
+        "shard-panicked",
+        "worker-draining",
+        "checkpoint-mismatch",
+        "checkpoint-corrupt",
+        "checkpoint-io",
+    ];
+    KNOWN.iter().find(|k| **k == code).copied().unwrap_or("shard-failed")
 }
 
 /// Maps the runtime's [`RunError`] taxonomy onto the wire taxonomy.
@@ -1138,19 +2019,40 @@ fn run_error_response(shared: &Shared, error: Option<&RunError>) -> ServiceError
     }
 }
 
+/// `health`: a cheap liveness/topology probe that, like `ping`/`stats`,
+/// bypasses admission — it must answer even when the queue is full or the
+/// daemon is draining.
+fn render_health(shared: &Arc<Shared>, id: &str) -> String {
+    let queue_depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let mut s = format!(
+        "{{\"id\": {id}, \"ok\": true, \"role\": {}, \"draining\": {}, \
+         \"queue_depth\": {queue_depth}, \"queue_capacity\": {}, \"workers_connected\": {}",
+        json::escape(shared.cfg.role.name()),
+        shared.should_drain(),
+        shared.cfg.queue_capacity,
+        shared.fleet.as_ref().map_or(0, |f| f.live_workers()),
+    );
+    if let Some(link) = &shared.worker_link {
+        s.push_str(&format!(", \"coordinator_connected\": {}", link.connected()));
+    }
+    s.push_str(&format!(", \"uptime_ms\": {}}}", shared.started.elapsed().as_millis()));
+    s
+}
+
 fn render_stats(shared: &Arc<Shared>, id: &str) -> String {
     let c = &shared.counters;
     let queue_depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
     let cache = shared.cache_totals();
     let models = shared.caches.lock().unwrap_or_else(|e| e.into_inner()).map.len();
-    format!(
-        "{{\"id\": {id}, \"ok\": true, \"uptime_ms\": {}, \"draining\": {}, \
+    let mut s = format!(
+        "{{\"id\": {id}, \"ok\": true, \"role\": {}, \"uptime_ms\": {}, \"draining\": {}, \
          \"queue_depth\": {queue_depth}, \"queue_capacity\": {}, \"workers\": {}, \
          \"connections\": {}, \"accepted\": {}, \"completed\": {}, \
          \"rejected_overload\": {}, \"rejected_draining\": {}, \"degraded\": {}, \
          \"request_panics\": {}, \"invalid\": {}, \"models_cached\": {models}, \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"evictions\": {}}}, \
-         \"guard\": {{\"violations\": {}, \"rejections\": {}}}}}",
+         \"guard\": {{\"violations\": {}, \"rejections\": {}}}",
+        json::escape(shared.cfg.role.name()),
         shared.started.elapsed().as_millis(),
         shared.should_drain(),
         shared.cfg.queue_capacity,
@@ -1169,7 +2071,24 @@ fn render_stats(shared: &Arc<Shared>, id: &str) -> String {
         cache.evictions,
         shared.guard_violations.load(Ordering::Relaxed),
         shared.guard_rejections.load(Ordering::Relaxed),
-    )
+    );
+    if let Some(f) = &shared.fleet {
+        s.push_str(&format!(
+            ", \"fleet\": {{\"workers_connected\": {}, \"workers_joined\": {}, \
+             \"workers_lost\": {}, \"dispatched\": {}, \"redispatched\": {}, \"stolen\": {}, \
+             \"duplicates_discarded\": {}, \"stale_results\": {}}}",
+            f.live_workers(),
+            f.counters.workers_joined.load(Ordering::Relaxed),
+            f.counters.workers_lost.load(Ordering::Relaxed),
+            f.counters.dispatched.load(Ordering::Relaxed),
+            f.counters.redispatched.load(Ordering::Relaxed),
+            f.counters.stolen.load(Ordering::Relaxed),
+            f.counters.duplicates_discarded.load(Ordering::Relaxed),
+            f.counters.stale_results.load(Ordering::Relaxed),
+        ));
+    }
+    s.push('}');
+    s
 }
 
 #[cfg(test)]

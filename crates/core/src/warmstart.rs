@@ -241,7 +241,7 @@ where
 /// does, so insertion order stays the layer order even when layers finish
 /// out of order (see [`run_network_parallel`]).
 #[allow(clippy::too_many_arguments)] // mirrors the sweep's full parameter surface
-fn run_layer(
+pub(crate) fn run_layer(
     i: usize,
     layer: &Problem,
     arch: &Arch,

@@ -123,6 +123,42 @@ fn single_bit_flips_never_panic() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Long-running sweeps save after every layer; the scratch directory must
+/// not grow with the number of saves. Exactly one rolling `.bak` per
+/// checkpoint path, no stranded `.tmp` staging files, and the backup is
+/// always exactly one generation behind the primary.
+#[test]
+fn repeated_saves_keep_exactly_one_backup_and_no_strays() {
+    let dir = scratch("rolling");
+    let path = dir.join("sweep.ckpt");
+    let mut ckpt = sample_checkpoint();
+    ckpt.layers.clear();
+    for generation in 0..12 {
+        let mut layer = sample_checkpoint().layers[0].clone();
+        layer.name = format!("layer{generation}");
+        ckpt.layers.push(layer);
+        ckpt.save(&path).expect("save");
+
+        let mut names: Vec<String> = fs::read_dir(&dir)
+            .expect("read scratch dir")
+            .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let expected: &[&str] =
+            if generation == 0 { &["sweep.ckpt"] } else { &["sweep.ckpt", "sweep.ckpt.bak"] };
+        assert_eq!(names, expected, "after save #{}", generation + 1);
+
+        let primary = SweepCheckpoint::load(&path).expect("primary parses");
+        assert_eq!(primary.layers.len(), generation + 1);
+        if generation > 0 {
+            let bak = SweepCheckpoint::load(&SweepCheckpoint::backup_path(&path))
+                .expect("backup parses");
+            assert_eq!(bak.layers.len(), generation, ".bak is exactly one save behind");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// The durability contract of `save`: the previous checkpoint survives as
 /// `.bak`, and `load` falls back to it when the primary is corrupted.
 #[test]

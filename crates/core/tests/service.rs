@@ -322,6 +322,67 @@ fn drain_finishes_in_flight_work_and_rejects_new_requests() {
     assert_eq!(stats.accepted, stats.completed, "drain answered the backlog exactly once");
 }
 
+/// `health` answers on a standalone daemon — role, draining flag, queue
+/// depth, zero workers — and a sweep without any fleet runs inline with
+/// the same response shape a coordinator produces.
+#[test]
+fn health_and_standalone_sweep_roundtrip() {
+    let h = start(test_config());
+    let addr = h.local_addr();
+    let v = request(addr, "{\"id\": 1, \"op\": \"health\"}");
+    assert_ok(&v);
+    assert_eq!(v.get("role").and_then(json::Value::as_str), Some("standalone"));
+    assert_eq!(v.get("draining").and_then(json::Value::as_bool), Some(false));
+    assert_eq!(v.get("workers_connected").and_then(json::Value::as_u64), Some(0));
+    assert_eq!(v.get("queue_depth").and_then(json::Value::as_u64), Some(0));
+    assert!(v.get("uptime_ms").and_then(json::Value::as_u64).is_some());
+
+    let sweep = request(
+        addr,
+        &format!(
+            "{{\"id\": 2, \"op\": \"sweep\", \"layers\": [\"{PROBLEM}\", \
+             \"GEMM;h;B=2,M=16,K=16,N=16\"], \"mapper\": \"random\", \"samples\": 150}}"
+        ),
+    );
+    assert_ok(&sweep);
+    assert_eq!(sweep.get("layers_total").and_then(json::Value::as_u64), Some(2));
+    assert_eq!(sweep.get("layers_from_checkpoint").and_then(json::Value::as_u64), Some(0));
+    assert!(matches!(sweep.get("fleet"), Some(json::Value::Null)), "{}", sweep.to_text());
+    let layers = sweep.get("layers").and_then(json::Value::as_array).expect("layers array");
+    assert_eq!(layers.len(), 2);
+    for l in layers {
+        assert!(l.get("best_score").and_then(json::Value::as_f64).is_some_and(f64::is_finite));
+        assert!(l.get("mapping").and_then(json::Value::as_str).is_some());
+    }
+
+    // A named checkpoint needs --checkpoint-dir; without one the request
+    // is refused up front, not after hours of sweeping.
+    let bad = request(
+        addr,
+        &format!(
+            "{{\"id\": 3, \"op\": \"sweep\", \"layers\": [\"{PROBLEM}\"], \
+             \"checkpoint\": \"s.ckpt\"}}"
+        ),
+    );
+    assert_eq!(error_code(&bad), "bad-request");
+    // Checkpoint names that escape the directory or collide with the
+    // writer's own staging suffixes are permanent errors.
+    for name in ["../escape.ckpt", ".hidden", "x.ckpt.bak", "x.ckpt.tmp", ""] {
+        let v = request(
+            addr,
+            &format!(
+                "{{\"id\": 4, \"op\": \"sweep\", \"layers\": [\"{PROBLEM}\"], \
+                 \"checkpoint\": {}}}",
+                json::escape(name)
+            ),
+        );
+        assert_eq!(error_code(&v), "bad-request", "checkpoint name {name:?}");
+    }
+    h.drain();
+    let stats = h.join();
+    assert_eq!(stats.accepted, stats.completed);
+}
+
 /// Oversized request lines are refused with a structured response before
 /// the daemon buffers unbounded input.
 #[test]
