@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# CI smoke test for the warm-start store: boot `mapex serve --store`,
+# deposit an incumbent through a search, SIGKILL the daemon mid-request
+# (crash-only: no shutdown handler runs), then restart on the same store
+# and assert the deposit survived, a similar search reports a warm hit,
+# and `mapex store verify` is clean — healing any torn tail with
+# `mapex store compact` first if the kill landed mid-write.
+set -euo pipefail
+
+MAPEX="${MAPEX:-target/release/mapex}"
+PROBLEM="GEMM;g;B=2,M=32,K=32,N=32"
+NEIGHBOR="GEMM;h;B=2,M=48,K=32,N=32"
+OUT="$(mktemp -d)"
+STORE="$OUT/warm.store"
+trap 'rm -rf "$OUT"; [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null || true' EXIT
+
+fail() { echo "store_smoke: FAIL: $*" >&2; exit 1; }
+
+boot() {
+    "$MAPEX" serve --addr 127.0.0.1:0 --workers 1 --store "$STORE" \
+        > "$OUT/serve.log" 2>&1 &
+    PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/^listening on //p' "$OUT/serve.log" | head -n1)"
+        [ -n "$ADDR" ] && break
+        kill -0 "$PID" 2>/dev/null || fail "daemon died during boot: $(cat "$OUT/serve.log")"
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || fail "daemon never printed its address"
+}
+
+req() { "$MAPEX" request --addr "$ADDR" --timeout 60 "$1"; }
+
+# --- 1. boot with a store, deposit one incumbent -----------------------
+boot
+echo "store_smoke: daemon at $ADDR (pid $PID)"
+FIRST="$(req "{\"id\": 1, \"op\": \"search\", \"problem\": \"$PROBLEM\", \"mapper\": \"gamma\", \"samples\": 300, \"seed\": 7}")"
+echo "$FIRST" | grep -q '"ok": true' || fail "first search not ok: $FIRST"
+echo "$FIRST" | grep -q '"warm_start": false' || fail "empty store cannot warm-start: $FIRST"
+STATS="$(req '{"id": 2, "op": "stats"}')"
+echo "$STATS" | grep -q '"store":' || fail "stats has no store block: $STATS"
+echo "$STATS" | grep -q '"deposits": 1' || fail "search did not deposit: $STATS"
+echo "store_smoke: deposit ok"
+
+# --- 2. SIGKILL mid-request: crash-only, nothing flushes on the way out
+req "{\"id\": 3, \"op\": \"search\", \"problem\": \"$PROBLEM\", \"samples\": 100000000, \"deadline_ms\": 30000}" > /dev/null 2>&1 &
+INFLIGHT=$!
+sleep 0.5
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+wait "$INFLIGHT" 2>/dev/null || true
+unset PID
+[ -f "$STORE" ] || fail "store file vanished after SIGKILL"
+echo "store_smoke: SIGKILL delivered"
+
+# --- 3. verify the store; compact heals a torn tail if the kill hit one
+if ! "$MAPEX" store verify --store "$STORE" > "$OUT/verify.json"; then
+    echo "store_smoke: torn tail detected, compacting"
+    "$MAPEX" store compact --store "$STORE" > /dev/null || fail "compact failed"
+    "$MAPEX" store verify --store "$STORE" > "$OUT/verify.json" \
+        || fail "store still damaged after compact: $(cat "$OUT/verify.json")"
+fi
+grep -q "^valid 0$" "$OUT/verify.json" && fail "deposit lost to the crash: $(cat "$OUT/verify.json")"
+echo "store_smoke: store verified after crash"
+
+# --- 4. restart on the same store: the prior survives and warm-starts --
+boot
+echo "store_smoke: restarted at $ADDR (pid $PID)"
+STATS="$(req '{"id": 4, "op": "stats"}')"
+echo "$STATS" | grep -q '"entries": 0' && fail "restart lost the deposits: $STATS"
+WARM="$(req "{\"id\": 5, \"op\": \"search\", \"problem\": \"$NEIGHBOR\", \"mapper\": \"gamma\", \"samples\": 300, \"seed\": 7}")"
+echo "$WARM" | grep -q '"ok": true' || fail "post-restart search not ok: $WARM"
+echo "$WARM" | grep -q '"warm_start": true' || fail "similar search must warm-start: $WARM"
+echo "store_smoke: cross-restart warm hit ok"
+
+# --- 5. store stats CLI agrees, clean shutdown -------------------------
+"$MAPEX" store stats --store "$STORE" > "$OUT/stats.txt" || fail "store stats CLI failed"
+grep -q "^entries" "$OUT/stats.txt" || fail "store stats CLI printed nothing: $(cat "$OUT/stats.txt")"
+kill -TERM "$PID"
+DRAIN_DEADLINE=$((SECONDS + 30))
+while kill -0 "$PID" 2>/dev/null; do
+    [ "$SECONDS" -lt "$DRAIN_DEADLINE" ] || fail "daemon did not drain within 30s"
+    sleep 0.2
+done
+wait "$PID" && RC=0 || RC=$?
+[ "$RC" -eq 0 ] || fail "daemon exited $RC after SIGTERM (want 0)"
+unset PID
+echo "store_smoke: PASS"

@@ -42,6 +42,8 @@ commands:
             admission control, per-request deadlines, and graceful drain
   request   send one JSON request line to a running daemon and print the
             response line
+  store     inspect or maintain a warm-start store file:
+            stats | compact | verify (verify exits nonzero on damage)
   bench-throughput
             measure evaluation throughput (serial vs parallel vs cached)
             and write BENCH_throughput.json
@@ -108,6 +110,12 @@ serve/request options:
                          injection; requires --fault-injection)
   --checkpoint-dir DIR   serve: directory for named sweep checkpoints —
                          enables \"checkpoint\"/\"resume\" in sweep requests
+  --store FILE           serve: durable warm-start store — completed
+                         searches and sweep layers deposit incumbents;
+                         similar requests are seeded from validated priors
+                         and \"mapper\": \"auto\" picks the arm a UCB bandit
+                         learned for similar problems. Also the store file
+                         for the `store` command
   --max-retries N        request: retry transient failures — overloaded /
                          draining responses, connect errors, empty replies —
                          with capped jittered exponential backoff honoring
@@ -163,6 +171,7 @@ fn main() -> ExitCode {
         Some("zoo") => cmd_zoo(),
         Some("serve") => cmd_serve(&args),
         Some("request") => cmd_request(&args),
+        Some("store") => cmd_store(&args),
         Some("bench-throughput") => cmd_bench_throughput(&args),
         _ => {
             eprint!("{USAGE}");
@@ -691,6 +700,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         role,
         fleet,
         checkpoint_dir: args.get("checkpoint-dir").map(std::path::PathBuf::from),
+        store: args.get("store").map(std::path::PathBuf::from),
         ..mse::ServeConfig::default()
     };
     mse::service::install_drain_signal_handlers();
@@ -710,6 +720,53 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         stats.request_panics
     );
     Ok(())
+}
+
+/// `mapex store <stats|compact|verify> --store PATH`: inspect or maintain a
+/// warm-start store file offline. `verify` is read-only and exits nonzero
+/// when it finds quarantined (damaged) records, so scripts can alarm on
+/// corruption; `compact` bounds the file and heals damage out of it (the
+/// previous file survives as `.bak`).
+fn cmd_store(args: &Args) -> Result<(), CliError> {
+    let action = args
+        .positionals
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| input("store: pass an action (stats | compact | verify)"))?;
+    let path = args.get("store").ok_or_else(|| input("--store PATH is required"))?;
+    let path = std::path::Path::new(path);
+    match action {
+        "stats" => {
+            let store = mse::WarmStore::open(path).map_err(input)?;
+            let s = store.stats();
+            println!(
+                "entries {}\nfile_bytes {}\nquarantined {}\nskipped_future {}",
+                s.entries, s.file_bytes, s.quarantined, s.skipped_future
+            );
+            Ok(())
+        }
+        "compact" => {
+            let store = mse::WarmStore::open(path).map_err(input)?;
+            let r = store.compact().map_err(input)?;
+            println!("kept {}\ndropped {}\nreclaimed_bytes {}", r.kept, r.dropped, r.reclaimed_bytes);
+            Ok(())
+        }
+        "verify" => {
+            let r = mse::WarmStore::verify(path).map_err(input)?;
+            println!(
+                "valid {}\nquarantined {}\nskipped_future {}\nbytes {}",
+                r.valid, r.quarantined, r.skipped_future, r.bytes
+            );
+            if r.quarantined > 0 {
+                return Err(input(format!(
+                    "store has {} quarantined record(s); `mapex store compact` heals the file",
+                    r.quarantined
+                )));
+            }
+            Ok(())
+        }
+        other => Err(input(format!("unknown store action `{other}` (stats | compact | verify)"))),
+    }
 }
 
 /// `mapex request`: sends one JSON request line to a running daemon and

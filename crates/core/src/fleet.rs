@@ -172,6 +172,12 @@ pub struct ShardSpec {
     /// Hard deadline for island shards; `None` for layer shards (sweep
     /// determinism forbids wall-clock budgets).
     pub deadline_ms: Option<u64>,
+    /// Warm-start seed mapping (`mapping::codec` spec), already rescaled and
+    /// guard-validated by the coordinator's [`crate::store::WarmStore`]. It
+    /// rides in the payload so re-dispatch, work stealing, and resharding
+    /// never lose the prior; workers re-check legality and treat an
+    /// unusable seed as absent.
+    pub warm_seed: Option<String>,
 }
 
 /// Successful search outcome in wire-portable form (mirrors the fields
@@ -253,6 +259,9 @@ pub(crate) fn render_shard(spec: &ShardSpec) -> String {
         spec.seed,
         spec.retries,
     ));
+    if let Some(ws) = &spec.warm_seed {
+        s.push_str(&format!("\"warm_seed\": {}, ", json::escape(ws)));
+    }
     match spec.deadline_ms {
         Some(ms) => s.push_str(&format!("\"deadline_ms\": {ms}}}")),
         None => s.push_str("\"deadline_ms\": null}"),
@@ -310,6 +319,10 @@ pub(crate) fn parse_shard(doc: &json::Value) -> Result<ShardSpec, String> {
             .ok_or_else(|| "shard missing `seed`".to_string())?,
         retries: doc.get("retries").and_then(json::Value::as_usize).unwrap_or(0),
         deadline_ms,
+        warm_seed: doc
+            .get("warm_seed")
+            .and_then(json::Value::as_str)
+            .map(str::to_string),
     })
 }
 
@@ -1208,6 +1221,7 @@ mod tests {
             seed: u64::MAX - 3,
             retries: 0,
             deadline_ms: None,
+            warm_seed: None,
         }
     }
 
@@ -1222,6 +1236,7 @@ mod tests {
             deadline_ms: Some(1_500),
             retries: 3,
             weight_density: 0.5,
+            warm_seed: Some("o:0,1,2,3;t:1,2,1,4;s:1,1,1,1".to_string()),
             ..spec
         };
         let parsed = parse_shard(&json::parse(&render_shard(&island)).unwrap()).unwrap();

@@ -31,6 +31,7 @@ pub mod json;
 pub mod runtime;
 pub mod service;
 pub mod sparsity;
+pub mod store;
 pub mod warmstart;
 
 pub use driver::{convergence_sample, samples_to_reach, Mse};
@@ -42,6 +43,7 @@ pub use runtime::{
     RunPolicy, SweepCheckpoint,
 };
 pub use service::{serve, ErrorKind, ServeConfig, ServeStats, ServerHandle};
+pub use store::{CompactReport, StoreRecord, StoreStats, VerifyReport, WarmStore, BANDIT_ARMS};
 pub use sparsity::{
     density_sweep, weight_density_sweep, SparsityAwareEvaluator, StaticDensityEvaluator,
     DEFAULT_SEARCH_DENSITIES,

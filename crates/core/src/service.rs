@@ -53,6 +53,7 @@ use crate::fleet::{
 };
 use crate::json;
 use crate::runtime::{reseed, LayerCheckpoint, RunPolicy, SweepCheckpoint};
+use crate::store::WarmStore;
 use crate::warmstart::{run_layer, InitStrategy, ReplayBuffer};
 use arch::Arch;
 use costmodel::{
@@ -112,6 +113,12 @@ pub struct ServeConfig {
     /// that name a `checkpoint` are rejected when this is unset — clients
     /// must not choose arbitrary filesystem paths.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Durable warm-start store path ([`crate::store::WarmStore`]). When
+    /// set, completed searches and sweep layers deposit their incumbents,
+    /// new searches are seeded from the most similar validated prior, and
+    /// mapper `auto` resolves through the store's bandit. `None` disables
+    /// all warm-start behavior (requests run exactly as before).
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +136,7 @@ impl Default for ServeConfig {
             role: ServeRole::Standalone,
             fleet: FleetConfig::default(),
             checkpoint_dir: None,
+            store: None,
         }
     }
 }
@@ -316,6 +324,9 @@ struct Shared {
     /// for SIGKILL): in-flight sweep drivers abandon their jobs at the
     /// next layer boundary instead of finishing the drain.
     aborted: AtomicBool,
+    /// Durable warm-start store (standalone and coordinator roles; workers
+    /// receive seeds in shard payloads and never open a store themselves).
+    store: Option<Arc<WarmStore>>,
 }
 
 impl Shared {
@@ -543,6 +554,14 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         ),
         ServeRole::Standalone => (None, None),
     };
+    // Workers never open a store — seeds arrive inside shard payloads, so
+    // the coordinator's store stays the single source of priors.
+    let store = match (&cfg.store, &cfg.role) {
+        (Some(path), ServeRole::Standalone | ServeRole::Coordinator) => {
+            Some(Arc::new(WarmStore::open(path)?))
+        }
+        _ => None,
+    };
     let shared = Arc::new(Shared {
         cfg,
         started: Instant::now(),
@@ -561,6 +580,7 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         fleet: fleet_sched,
         worker_link,
         aborted: AtomicBool::new(false),
+        store,
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -1037,7 +1057,9 @@ fn parse_work(shared: &Shared, op: &str, doc: &json::Value) -> Result<Work, Serv
                 .and_then(json::Value::as_str)
                 .unwrap_or("gamma")
                 .to_string();
-            if mapper_by_name(&mapper, shared.cfg.fault_injection).is_none() {
+            // `auto` is a virtual mapper: the warm store's bandit resolves
+            // it to a concrete arm at execution time (search only).
+            if mapper != "auto" && mapper_by_name(&mapper, shared.cfg.fault_injection).is_none() {
                 return Err(ServiceError::permanent(
                     "bad-request",
                     format!("unknown mapper `{mapper}`"),
@@ -1382,13 +1404,19 @@ fn run_search_core(
     deadline: Option<Duration>,
     seed: u64,
     retries: usize,
+    warm: Option<&Mapping>,
 ) -> Result<SearchOk, ServiceError> {
-    let Some(mapper) = mapper_by_name(mapper_name, shared.cfg.fault_injection) else {
+    let Some(mut mapper) = mapper_by_name(mapper_name, shared.cfg.fault_injection) else {
         return Err(ServiceError::permanent(
             "bad-request",
             format!("unknown mapper `{mapper_name}`"),
         ));
     };
+    // A validated warm-start prior seeds the mapper's initial population;
+    // it biases where the search *starts*, never what is accepted.
+    if let Some(m) = warm {
+        mapper.set_seeds(vec![m.clone()]);
+    }
     let model = make_model(problem, arch, density);
     // The budget tells the mapper to aim for 90% of the deadline; the
     // watchdog's hard deadline is the deadline itself. A well-behaved
@@ -1476,7 +1504,74 @@ fn run_search_core(
     }
 }
 
-fn render_search_ok(id: &str, ok: &SearchOk, islands: Option<usize>) -> String {
+/// Recall the most similar prior from the warm store and re-validate it
+/// before it may seed a population. Store contents are never trusted: the
+/// mapping must rescale to the new problem, pass structural legality, and
+/// clear a *rejecting* [`GuardedModel`] (compulsory-traffic, latency-floor,
+/// and MAC-energy-floor invariants) regardless of the daemon's configured
+/// guard policy. Anything that fails is counted quarantined and the search
+/// runs cold — bit-identical to a run with no store at all.
+fn validated_prior(
+    problem: &Problem,
+    arch: &Arch,
+    density: Option<Density>,
+    arch_fp: u64,
+    store: &WarmStore,
+) -> Option<(Mapping, usize)> {
+    let (src_problem, mapping_spec, dist) = match store.recall(problem, arch_fp) {
+        Some(hit) => hit,
+        None => {
+            store.record_miss();
+            return None;
+        }
+    };
+    let Ok(raw) = mapping::codec::from_spec(&mapping_spec) else {
+        store.record_poisoned();
+        return None;
+    };
+    // An honest deposit is a search incumbent: legal for its *own* problem
+    // on this arch. A record that fails that was corrupted or forged.
+    if !raw.is_legal(&src_problem, arch) {
+        store.record_poisoned();
+        return None;
+    }
+    let Some(scaled) = raw.scale_to(&src_problem, problem, arch) else {
+        store.record_miss();
+        return None;
+    };
+    if !scaled.is_legal(problem, arch) {
+        store.record_poisoned();
+        return None;
+    }
+    let model = make_model(problem, arch, density);
+    let guarded = GuardedModel::new(model, guard_config(GuardPolicy::Reject, density));
+    match guarded.evaluate(&scaled) {
+        Ok(c) if c.edp().is_finite() => {
+            store.record_hit();
+            Some((scaled, dist))
+        }
+        _ => {
+            store.record_poisoned();
+            None
+        }
+    }
+}
+
+/// Deposit a finished search incumbent into the warm store (no-op without
+/// one). Deposit failures only lose future warm starts, never the response.
+fn deposit_search(
+    shared: &Arc<Shared>,
+    problem: &Problem,
+    arch_fp: u64,
+    mapper: &str,
+    ok: &SearchOk,
+) {
+    let Some(store) = &shared.store else { return };
+    let Ok(m) = mapping::codec::from_spec(&ok.mapping) else { return };
+    let _ = store.deposit(arch_fp, problem, &m, mapper, ok.score, ok.evaluated as u64);
+}
+
+fn render_search_ok(id: &str, ok: &SearchOk, islands: Option<usize>, extra: &str) -> String {
     let mut s = format!(
         "{{\"id\": {id}, \"ok\": true, \"degraded\": {}, \"status\": {}, \
          \"score\": {}, \"latency_cycles\": {}, \"energy_uj\": {}, \"mapping\": {}, \
@@ -1495,6 +1590,7 @@ fn render_search_ok(id: &str, ok: &SearchOk, islands: Option<usize>) -> String {
     if let Some(k) = islands {
         s.push_str(&format!(", \"islands\": {k}"));
     }
+    s.push_str(extra);
     s.push('}');
     s
 }
@@ -1514,11 +1610,50 @@ fn execute_search(
     retries: usize,
     islands: usize,
 ) -> String {
+    // Warm-start and bandit resolution happen once, up front, against the
+    // coordinator's store — never inside shards — so the chosen arm and
+    // seed are identical whatever the fleet topology, and a store-less
+    // worker re-executing the shard sees the same inputs.
+    let arch_fp = WarmStore::arch_fingerprint(arch, density.as_ref());
+    let resolved_mapper: String = if mapper_name == "auto" {
+        match &shared.store {
+            Some(s) => s.select_mapper(problem, arch_fp).to_string(),
+            None => crate::store::BANDIT_ARMS[0].to_string(),
+        }
+    } else {
+        mapper_name.to_string()
+    };
+    let warm = shared
+        .store
+        .as_ref()
+        .and_then(|s| validated_prior(problem, arch, density, arch_fp, s));
+    let mut extra = String::new();
+    if shared.store.is_some() {
+        extra.push_str(&format!(", \"warm_start\": {}", warm.is_some()));
+        if let Some((_, d)) = &warm {
+            extra.push_str(&format!(", \"warm_distance\": {d}"));
+        }
+    }
+    if mapper_name == "auto" {
+        extra.push_str(&format!(", \"mapper\": {}", json::escape(&resolved_mapper)));
+    }
     if islands < 2 {
         return match run_search_core(
-            shared, problem, arch, density, mapper_name, samples, deadline, seed, retries,
+            shared,
+            problem,
+            arch,
+            density,
+            &resolved_mapper,
+            samples,
+            deadline,
+            seed,
+            retries,
+            warm.as_ref().map(|(m, _)| m),
         ) {
-            Ok(ok) => render_search_ok(id, &ok, None),
+            Ok(ok) => {
+                deposit_search(shared, problem, arch_fp, &resolved_mapper, &ok);
+                render_search_ok(id, &ok, None, &extra)
+            }
             Err(e) => e.render(id),
         };
     }
@@ -1535,11 +1670,12 @@ fn execute_search(
         arch: arch_wire.clone(),
         weight_density: density.map_or(1.0, |d| d.weight),
         input_density: density.map_or(1.0, |d| d.input),
-        mapper: mapper_name.to_string(),
+        mapper: resolved_mapper.clone(),
         samples: base + usize::from(i < rem),
         seed: reseed(seed, i as u64),
         retries,
         deadline_ms: deadline.map(|d| d.as_millis() as u64),
+        warm_seed: warm.as_ref().map(|(m, _)| mapping::codec::to_spec(m)),
     };
     let outcomes: Vec<Option<ShardOutcome>> = match &shared.fleet {
         Some(fleet) => {
@@ -1595,7 +1731,8 @@ fn execute_search(
             b.attempts = attempts;
             b.cache_hits = cache_hits;
             b.elapsed_ms = elapsed_ms;
-            render_search_ok(id, &b, Some(islands))
+            deposit_search(shared, problem, arch_fp, &resolved_mapper, &b);
+            render_search_ok(id, &b, Some(islands), &extra)
         }
         None => {
             let e = first_err.expect("no islands ran");
@@ -1726,19 +1863,30 @@ fn execute_shard_inner(shared: &Arc<Shared>, spec: &ShardSpec) -> ShardOutcome {
             lc.elapsed_secs = 0.0;
             Ok(ShardData::Layer(lc))
         }
-        ShardKind::Island { .. } => run_search_core(
-            shared,
-            &problem,
-            &arch,
-            density,
-            &spec.mapper,
-            spec.samples,
-            spec.deadline_ms.map(Duration::from_millis),
-            spec.seed,
-            spec.retries,
-        )
-        .map(ShardData::Island)
-        .map_err(|e| ShardError { kind: e.kind, code: e.code.to_string(), message: e.message }),
+        ShardKind::Island { .. } => {
+            // The coordinator already validated the seed against its store;
+            // workers still refuse anything unparseable or illegal (a
+            // hostile coordinator can waste a seed slot, nothing more).
+            let warm = spec
+                .warm_seed
+                .as_deref()
+                .and_then(|s| mapping::codec::from_spec(s).ok())
+                .filter(|m| m.is_legal(&problem, &arch));
+            run_search_core(
+                shared,
+                &problem,
+                &arch,
+                density,
+                &spec.mapper,
+                spec.samples,
+                spec.deadline_ms.map(Duration::from_millis),
+                spec.seed,
+                spec.retries,
+                warm.as_ref(),
+            )
+            .map(ShardData::Island)
+            .map_err(|e| ShardError { kind: e.kind, code: e.code.to_string(), message: e.message })
+        }
     }
 }
 
@@ -1812,6 +1960,33 @@ fn execute_sweep(shared: &Arc<Shared>, id: &str, w: &SweepWork) -> String {
         seed: w.seed,
         retries: 0,
         deadline_ms: None,
+        // Sweep layers never read the store (a resumed sweep must re-derive
+        // the exact shards the original run dispatched, and store contents
+        // change between runs); they only deposit.
+        warm_seed: None,
+    };
+    let sweep_fp = arch_from_wire(&w.arch_wire)
+        .ok()
+        .map(|a| WarmStore::arch_fingerprint(&a, w.density.as_ref()));
+    // Deposit each flushed layer's incumbent so later `search` requests can
+    // warm-start from sweep results. Resumed prefixes are not re-deposited.
+    let deposit_layer = |i: usize, lc: &LayerCheckpoint| {
+        if let (Some(store), Some(fp)) = (&shared.store, sweep_fp) {
+            if let Some(spec) = &lc.mapping {
+                if let Ok(m) = mapping::codec::from_spec(spec) {
+                    if lc.best_score.is_finite() {
+                        let _ = store.deposit(
+                            fp,
+                            &w.layers[i],
+                            &m,
+                            &w.mapper,
+                            lc.best_score,
+                            lc.evaluated as u64,
+                        );
+                    }
+                }
+            }
+        }
     };
     let flush = |ckpt: &SweepCheckpoint| -> Result<(), ServiceError> {
         match &w.checkpoint {
@@ -1853,6 +2028,7 @@ fn execute_sweep(shared: &Arc<Shared>, id: &str, w: &SweepWork) -> String {
                     match fleet.take_outcome(&fleet.shard_id(job, next)) {
                         Some(Ok(ShardData::Layer(mut lc))) => {
                             lc.elapsed_secs = 0.0;
+                            deposit_layer(next, &lc);
                             ckpt.layers.push(lc);
                             flush(&ckpt)?;
                             next += 1;
@@ -1884,6 +2060,7 @@ fn execute_sweep(shared: &Arc<Shared>, id: &str, w: &SweepWork) -> String {
                 match execute_shard(shared, &spec_for(i)) {
                     Ok(ShardData::Layer(mut lc)) => {
                         lc.elapsed_secs = 0.0;
+                        deposit_layer(i, &lc);
                         ckpt.layers.push(lc);
                         if let Err(e) = flush(&ckpt) {
                             r = Err(e);
@@ -2035,8 +2212,32 @@ fn render_health(shared: &Arc<Shared>, id: &str) -> String {
     if let Some(link) = &shared.worker_link {
         s.push_str(&format!(", \"coordinator_connected\": {}", link.connected()));
     }
+    if let Some(store) = &shared.store {
+        s.push_str(&render_store_block(store));
+    }
     s.push_str(&format!(", \"uptime_ms\": {}}}", shared.started.elapsed().as_millis()));
     s
+}
+
+/// Warm-store metrics block shared by `stats` and `health`.
+fn render_store_block(store: &WarmStore) -> String {
+    let st = store.stats();
+    let recalls = st.hits + st.misses;
+    let hit_rate = if recalls == 0 { 0.0 } else { st.hits as f64 / recalls as f64 };
+    format!(
+        ", \"store\": {{\"entries\": {}, \"deposits\": {}, \"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {}, \"quarantined\": {}, \"skipped_future\": {}, \
+         \"last_compaction_reclaimed_bytes\": {}, \"file_bytes\": {}}}",
+        st.entries,
+        st.deposits,
+        st.hits,
+        st.misses,
+        json::num(hit_rate),
+        st.quarantined,
+        st.skipped_future,
+        st.last_compaction_reclaimed,
+        st.file_bytes,
+    )
 }
 
 fn render_stats(shared: &Arc<Shared>, id: &str) -> String {
@@ -2086,6 +2287,9 @@ fn render_stats(shared: &Arc<Shared>, id: &str) -> String {
             f.counters.duplicates_discarded.load(Ordering::Relaxed),
             f.counters.stale_results.load(Ordering::Relaxed),
         ));
+    }
+    if let Some(store) = &shared.store {
+        s.push_str(&render_store_block(store));
     }
     s.push('}');
     s

@@ -17,6 +17,13 @@ use std::sync::RwLock;
 
 use crate::driver::{convergence_sample, Mse};
 
+/// Schema version written by [`ReplayBuffer::save`]. Bump on any change to
+/// the line format; older binaries then skip the file gracefully instead of
+/// misparsing it.
+pub const REPLAY_FORMAT_VERSION: u32 = 1;
+/// Header-line prefix; the version number follows immediately.
+const REPLAY_HEADER_PREFIX: &str = "#mapex-replay v";
+
 /// How the mapper is initialized for each new workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitStrategy {
@@ -87,14 +94,16 @@ impl ReplayBuffer {
             .map(|(d, _, q, m)| (q.clone(), m.clone(), d))
     }
 
-    /// Serializes the buffer, one `problem-spec<TAB>mapping-spec` line per
-    /// entry, so a deployment can persist optimized mappings across runs
-    /// (the compile-time MSE use case of §3).
+    /// Serializes the buffer, a `#mapex-replay v1` schema header followed by
+    /// one `problem-spec<TAB>mapping-spec` line per entry, so a deployment
+    /// can persist optimized mappings across runs (the compile-time MSE use
+    /// case of §3).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
     pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{}{}", REPLAY_HEADER_PREFIX, REPLAY_FORMAT_VERSION)?;
         for (p, m) in self.entries_read().iter() {
             writeln!(w, "{}\t{}", problem::codec::to_spec(p), mapping::codec::to_spec(m))?;
         }
@@ -103,7 +112,11 @@ impl ReplayBuffer {
 
     /// Loads entries previously written by [`ReplayBuffer::save`],
     /// appending them to this buffer. Malformed lines are skipped; returns
-    /// the number of entries loaded.
+    /// the number of entries loaded. Versioning: a `#mapex-replay vN` header
+    /// with `N` beyond this binary's [`REPLAY_FORMAT_VERSION`] stops the
+    /// load gracefully (zero new entries, no error) — a newer format must
+    /// not be misparsed line by line. Headerless streams load as the
+    /// original v0 format, and other `#` lines are skipped as comments.
     ///
     /// # Errors
     ///
@@ -112,6 +125,15 @@ impl ReplayBuffer {
         let mut n = 0;
         for line in r.lines() {
             let line = line?;
+            if let Some(rest) = line.strip_prefix(REPLAY_HEADER_PREFIX) {
+                match rest.trim().parse::<u32>() {
+                    Ok(v) if v <= REPLAY_FORMAT_VERSION => continue,
+                    _ => return Ok(n),
+                }
+            }
+            if line.starts_with('#') {
+                continue;
+            }
             let Some((pspec, mspec)) = line.split_once('\t') else { continue };
             let (Ok(p), Ok(m)) =
                 (problem::codec::from_spec(pspec), mapping::codec::from_spec(mspec))
@@ -641,6 +663,42 @@ mod tests {
         let garbage = b"not a line\nCONV2D;x;B=1\tbroken\n".to_vec();
         let n = restored.load(std::io::BufReader::new(&garbage[..])).unwrap();
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn buffer_load_handles_schema_versions() {
+        let arch = Arch::accel_b();
+        let buf = ReplayBuffer::new();
+        let p = Problem::gemm("g", 2, 8, 8, 8);
+        buf.insert(p.clone(), Mapping::trivial(&p, &arch));
+        let mut bytes = Vec::new();
+        buf.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(
+            text.starts_with(&format!("#mapex-replay v{REPLAY_FORMAT_VERSION}\n")),
+            "save must emit the schema header first: {text:?}"
+        );
+        // Current version: loads normally.
+        let restored = ReplayBuffer::new();
+        assert_eq!(restored.load(std::io::BufReader::new(&bytes[..])).unwrap(), 1);
+        // A future version stops the load gracefully — zero entries, no
+        // error — even when the following lines would parse under v1.
+        let entry = text.lines().nth(1).unwrap();
+        let future = format!("#mapex-replay v{}\n{entry}\n", REPLAY_FORMAT_VERSION + 1);
+        let skipping = ReplayBuffer::new();
+        assert_eq!(skipping.load(std::io::BufReader::new(future.as_bytes())).unwrap(), 0);
+        assert!(skipping.is_empty());
+        // A mangled header is likewise a stop, not a misparse.
+        let mangled = "#mapex-replay vNaN\n".to_string() + entry + "\n";
+        assert_eq!(
+            ReplayBuffer::new().load(std::io::BufReader::new(mangled.as_bytes())).unwrap(),
+            0
+        );
+        // Headerless v0 files (pre-versioning) still load, and stray
+        // comments are skipped.
+        let legacy = format!("# a comment\n{entry}\n");
+        let old = ReplayBuffer::new();
+        assert_eq!(old.load(std::io::BufReader::new(legacy.as_bytes())).unwrap(), 1);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Fuzz-lite property tests for `mse::json::parse`: every byte sequence a
+//! client, worker, or warm store can throw at the daemon must either parse
+//! or return `Err` — never panic, never overflow the stack. This backstops
+//! every message path (service requests, fleet shard dispatch/results) and
+//! the store/checkpoint loaders built on top of the parser.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `parse` is a total function over arbitrary bytes: seeded random garbage
+/// never panics.
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0x6a5f_0001);
+    for round in 0..2_000 {
+        let len = rng.gen_range(0usize..200);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = mse::json::parse(&text); // Ok or Err, both fine; a panic fails the test.
+        let _ = round;
+    }
+}
+
+/// Random garbage rarely exercises the deeper grammar, so also mutate and
+/// truncate *valid* documents: structurally plausible damage is what torn
+/// writes and bit rot actually produce.
+#[test]
+fn mutated_valid_documents_never_panic() {
+    let docs = [
+        r#"{"op": "search", "problem": "GEMM;g;B=1,M=64,K=64,N=64", "arch": "accel-a", "samples": 500, "seed": "18446744073709551615", "deadline_ms": null}"#,
+        r#"{"id": 7, "ok": true, "score": 1.25e9, "mapping": "o:0,1,2,3;t:1,2,1,4;s:1,1,1,1", "nested": {"a": [1, -2.5, "x", false, null]}}"#,
+        r#"[[{"k": "v \"quoted\" \\ é"}, [], {}], 0.0, -0]"#,
+    ];
+    let mut rng = SmallRng::seed_from_u64(0x6a5f_0002);
+    for doc in docs {
+        assert!(mse::json::parse(doc).is_ok(), "fixture must be valid: {doc}");
+        // Every truncation point.
+        for cut in 0..doc.len() {
+            if doc.is_char_boundary(cut) {
+                let _ = mse::json::parse(&doc[..cut]);
+            }
+        }
+        // Random single- and multi-byte mutations.
+        for _ in 0..500 {
+            let mut bytes = doc.as_bytes().to_vec();
+            for _ in 0..rng.gen_range(1usize..4) {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] = rng.gen_range(0u8..=255);
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = mse::json::parse(&text);
+        }
+    }
+}
+
+/// Deep nesting is attacker-controlled recursion: the parser must refuse it
+/// with an error long before the stack gives out.
+#[test]
+fn deep_nesting_is_an_error_not_a_stack_overflow() {
+    for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+        let deep = format!("{}null{}", open.repeat(10_000), close.repeat(10_000));
+        let err = mse::json::parse(&deep).expect_err("10k-deep nesting must be rejected");
+        assert!(err.contains("nesting"), "diagnostic names the cause: {err}");
+    }
+    // Unclosed nesting (truncation of the above) is also an error.
+    let unclosed = "[".repeat(10_000);
+    assert!(mse::json::parse(&unclosed).is_err());
+    // Reasonable nesting still parses.
+    let shallow = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+    assert!(mse::json::parse(&shallow).is_ok(), "64 levels is within the cap");
+}

@@ -355,10 +355,25 @@ impl Mapping {
     /// new bound. Dimensions of `to` not present in `from` put their whole
     /// bound at the outermost level.
     ///
-    /// The result is capacity-repaired for `arch`; returns `None` only if
-    /// even unit tiles do not fit.
+    /// The result is capacity-repaired for `arch` and checked legal;
+    /// returns `None` when even unit tiles do not fit — or when `self` is
+    /// not actually a mapping of `from` on `arch` (untrusted sources like a
+    /// warm-start store can hand over arbitrary shapes; those must be
+    /// refused, never indexed out of bounds or rescaled into an illegal
+    /// result).
     pub fn scale_to(&self, from: &Problem, to: &Problem, arch: &Arch) -> Option<Mapping> {
         let nl = self.levels.len();
+        let d_from = from.num_dims();
+        if nl != arch.num_levels()
+            || self.levels.iter().any(|l| {
+                l.order.len() != d_from
+                    || l.temporal.len() != d_from
+                    || l.spatial.len() != d_from
+                    || l.order.iter().any(|&o| o >= d_from)
+            })
+        {
+            return None;
+        }
         let d_to = to.num_dims();
         let mut levels: Vec<LevelMapping> = (0..nl).map(|_| LevelMapping::unit(d_to)).collect();
 
@@ -432,7 +447,12 @@ impl Mapping {
         if !m.repair_capacity(to, arch) {
             return None;
         }
-        debug_assert!(m.is_legal(to, arch), "{:?}", m.validate(to, arch));
+        // Hostile inputs (zero factors, absurd bounds) can survive the
+        // repairs above; a rescale that is not legal is a `None`, not a
+        // seed and never a panic.
+        if !m.is_legal(to, arch) {
+            return None;
+        }
         Some(m)
     }
 }
