@@ -165,6 +165,7 @@ mod tests {
             samples: vec![],
             pareto: vec![],
             evaluated: 200,
+            pruned: 0,
             elapsed: std::time::Duration::ZERO,
             cache: mappers::CacheStats::default(),
         };

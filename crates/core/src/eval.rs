@@ -76,15 +76,23 @@ impl Default for EvalConfig {
     }
 }
 
+/// Items claimed per cursor bump. Chunked claims let each lane run the
+/// evaluator's *batched* path (`Evaluator::evaluate_batch`, SoA costing in
+/// the analytical engines) instead of one scalar evaluation per claim,
+/// while staying small enough that a straggler chunk cannot idle the other
+/// lanes for long.
+const DISPATCH_CHUNK: usize = 16;
+
 /// One in-flight batch. The evaluator and mapping slice are smuggled
 /// across threads as raw pointers; they are only dereferenced by workers
-/// holding a claimed index, and the submitting thread blocks until every
-/// index is accounted for, so both outlive every dereference.
+/// holding a claimed index range, and the submitting thread blocks until
+/// every index is accounted for, so both outlive every dereference.
 struct Job {
     eval: *const dyn Evaluator,
     batch: *const Mapping,
     len: usize,
-    /// Next unclaimed item — fine-grained dispatch, no static chunks.
+    /// Next unclaimed item — claimed in [`DISPATCH_CHUNK`]-sized ranges
+    /// from a shared cursor, no static partitioning.
     next: AtomicUsize,
     state: Mutex<JobState>,
     done_cv: Condvar,
@@ -104,34 +112,47 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and evaluates items until the batch is drained. Runs on
+    /// Claims and evaluates chunks until the batch is drained. Runs on
     /// workers *and* on the submitting thread, so progress never depends
-    /// on pool size.
+    /// on pool size. Each claim evaluates its chunk through the
+    /// evaluator's batched path, so per-lane work benefits from SoA
+    /// costing; results land by absolute index, so submission order is
+    /// preserved regardless of which lane ran which chunk.
     fn work(&self) {
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.len {
+            let start = self.next.fetch_add(DISPATCH_CHUNK, Ordering::Relaxed);
+            if start >= self.len {
                 return;
             }
-            // Safety: holding an unfinished claim `i < len` means `done <
-            // len`, so the submitting thread is still parked in
+            let end = (start + DISPATCH_CHUNK).min(self.len);
+            // Safety: holding an unfinished claim `start < len` means
+            // `done < len`, so the submitting thread is still parked in
             // `evaluate_batch` and the referents are alive. A worker that
             // wakes after the batch drained fails the claim above and
             // never forms these references.
-            let (eval, m) = unsafe { (&*self.eval, &*self.batch.add(i)) };
-            let out = catch_unwind(AssertUnwindSafe(|| eval.evaluate(m)));
+            let (eval, chunk) = unsafe {
+                (&*self.eval, std::slice::from_raw_parts(self.batch.add(start), end - start))
+            };
+            let out = catch_unwind(AssertUnwindSafe(|| eval.evaluate_batch(chunk)));
             let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
             match out {
-                Ok(v) => st.results[i] = Some(v),
-                // Keep the first payload; the submitter re-raises it.
+                Ok(vs) => {
+                    for (k, v) in vs.into_iter().enumerate() {
+                        st.results[start + k] = Some(v);
+                    }
+                }
+                // Keep the first payload; the submitter re-raises it. The
+                // chunk's slots are filled so counters stay exact.
                 Err(p) => {
                     if st.panic.is_none() {
                         st.panic = Some(p);
                     }
-                    st.results[i] = Some(None);
+                    for slot in &mut st.results[start..end] {
+                        *slot = Some(None);
+                    }
                 }
             }
-            st.done += 1;
+            st.done += end - start;
             if st.done == self.len {
                 self.done_cv.notify_all();
             }
@@ -225,7 +246,9 @@ impl EvalPool {
             return Vec::new();
         }
         if self.workers.is_empty() || batch.len() == 1 {
-            return batch.iter().map(|m| eval.evaluate(m)).collect();
+            // No concurrency to exploit — but still take the evaluator's
+            // batched (SoA) path rather than one scalar call per item.
+            return eval.evaluate_batch(batch);
         }
         // Safety: erases the borrow's lifetime so the pointer can live in
         // the 'static Job; it is only dereferenced under an unfinished
@@ -313,6 +336,20 @@ impl Evaluator for PoolEvaluator<'_> {
     fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
         self.pool.evaluate_batch(self.inner, batch)
     }
+
+    fn evaluate_neighbors(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Option<(Cost, f64)>> {
+        // Delta re-evaluation amortizes the parent analysis over the whole
+        // neighbor set, so it runs inline rather than sliced across lanes.
+        self.inner.evaluate_neighbors(parent, neighbors)
+    }
+
+    fn score_bound(&self, m: &Mapping) -> Option<f64> {
+        self.inner.score_bound(m)
+    }
 }
 
 const SHARDS: usize = 16;
@@ -360,10 +397,14 @@ impl EvalCache {
         self.per_shard_capacity > 0
     }
 
-    fn shard_of(&self, key: &Mapping) -> &Mutex<Shard> {
+    fn shard_index(&self, key: &Mapping) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn shard_of(&self, key: &Mapping) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Looks up a canonical key, counting the hit or miss.
@@ -402,6 +443,84 @@ impl EvalCache {
                 }
             }
         }
+    }
+
+    /// Records `n` misses without probing — the disabled-cache fast path,
+    /// where the probe could never hit but the accounting must still show
+    /// every submission as a miss.
+    fn count_misses(&self, n: usize) {
+        self.misses.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Probes a whole batch of canonical keys, touching each shard's lock
+    /// at most once (per-item probes pay one lock round-trip per mapping —
+    /// measurably slower than the evaluations they were meant to save on
+    /// cache-friendly random-mapper runs). Hit/miss counters are bumped in
+    /// bulk; all probes happen before any caller-side insert, preserving
+    /// the per-item path's duplicate-within-batch semantics (both copies
+    /// miss and are both evaluated).
+    pub fn lookup_batch(&self, keys: &[Mapping]) -> Vec<Option<Option<(Cost, f64)>>> {
+        if !self.enabled() {
+            self.count_misses(keys.len());
+            return vec![None; keys.len()];
+        }
+        let mut out: Vec<Option<Option<(Cost, f64)>>> = vec![None; keys.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[self.shard_index(key)].push(i);
+        }
+        let mut hits = 0u64;
+        for (si, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let shard = self.shards[si].lock().unwrap_or_else(|e| e.into_inner());
+            for &i in idxs {
+                if let Some(v) = shard.map.get(&keys[i]) {
+                    out[i] = Some(*v);
+                    hits += 1;
+                }
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
+        out
+    }
+
+    /// Inserts a batch of outcomes, touching each shard's lock at most
+    /// once. Within a shard, entries land in submission order, so the
+    /// per-shard FIFO evicts exactly as the per-item path would.
+    pub fn insert_batch(&self, entries: Vec<(Mapping, Option<(Cost, f64)>)>) {
+        if !self.enabled() || entries.is_empty() {
+            return;
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
+        for (i, (key, _)) in entries.iter().enumerate() {
+            by_shard[self.shard_index(key)].push(i);
+        }
+        let mut inserts = 0u64;
+        let mut evictions = 0u64;
+        for (si, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[si].lock().unwrap_or_else(|e| e.into_inner());
+            for &i in idxs {
+                let (key, value) = &entries[i];
+                if shard.map.insert(key.clone(), *value).is_none() {
+                    shard.fifo.push_back(key.clone());
+                    inserts += 1;
+                    while shard.fifo.len() > self.per_shard_capacity {
+                        if let Some(old) = shard.fifo.pop_front() {
+                            shard.map.remove(&old);
+                            evictions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.inserts.fetch_add(inserts, Ordering::Relaxed);
+        self.evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 
     /// Counter snapshot.
@@ -445,35 +564,52 @@ impl Evaluator for CachedEvaluator<'_> {
     }
 
     fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
-        let mut results: Vec<Option<Option<(Cost, f64)>>> = Vec::with_capacity(batch.len());
-        let mut keys: Vec<Option<Mapping>> = Vec::with_capacity(batch.len());
-        let mut missing: Vec<Mapping> = Vec::new();
-        for m in batch {
-            let key = mappers::canonicalize(m);
-            match self.cache.lookup(&key) {
-                Some(hit) => {
-                    results.push(Some(hit));
-                    keys.push(None);
-                }
-                None => {
-                    results.push(None);
-                    keys.push(Some(key));
-                    missing.push(m.clone());
-                }
-            }
+        // A disabled cache can never hit: skip canonicalization entirely
+        // (it used to cost more than the probes it fed, making the
+        // "cached" stack slower than the uncached one for random mappers)
+        // while still accounting every submission as a miss.
+        if !self.cache.enabled() {
+            self.cache.count_misses(batch.len());
+            return self.inner.evaluate_batch(batch);
         }
+        let keys: Vec<Mapping> = batch.iter().map(mappers::canonicalize).collect();
+        let probed = self.cache.lookup_batch(&keys);
+        let missing: Vec<Mapping> = batch
+            .iter()
+            .zip(&probed)
+            .filter(|(_, p)| p.is_none())
+            .map(|(m, _)| m.clone())
+            .collect();
         let fresh = self.inner.evaluate_batch(&missing);
         let mut fresh_it = fresh.into_iter();
-        for (slot, key) in results.iter_mut().zip(keys) {
-            if slot.is_none() {
-                let out = fresh_it.next().expect("one outcome per miss");
-                if let Some(key) = key {
-                    self.cache.insert(key, out);
+        let mut inserts: Vec<(Mapping, Option<(Cost, f64)>)> = Vec::with_capacity(missing.len());
+        let mut results: Vec<Option<(Cost, f64)>> = Vec::with_capacity(batch.len());
+        for (key, p) in keys.into_iter().zip(probed) {
+            match p {
+                Some(hit) => results.push(hit),
+                None => {
+                    let out = fresh_it.next().expect("one outcome per miss");
+                    inserts.push((key, out));
+                    results.push(out);
                 }
-                *slot = Some(out);
             }
         }
-        results.into_iter().map(|r| r.expect("all slots filled")).collect()
+        self.cache.insert_batch(inserts);
+        results
+    }
+
+    fn evaluate_neighbors(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Option<(Cost, f64)>> {
+        self.inner.evaluate_neighbors(parent, neighbors)
+    }
+
+    fn score_bound(&self, m: &Mapping) -> Option<f64> {
+        // Bounds are analytical and cheaper than a probe; memoizing them
+        // would pollute the outcome cache with a second value shape.
+        self.inner.score_bound(m)
     }
 }
 

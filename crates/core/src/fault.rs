@@ -120,6 +120,7 @@ impl<'a> WatchdogEvaluator<'a> {
             samples: Vec::new(),
             pareto: vec![(m, c)],
             evaluated,
+            pruned: 0,
             elapsed,
             cache: CacheStats::default(),
         })
@@ -221,6 +222,14 @@ impl Evaluator for WatchdogEvaluator<'_> {
             std::panic::panic_any(WatchdogStop { evaluated: start + done });
         }
         outs
+    }
+
+    fn score_bound(&self, m: &Mapping) -> Option<f64> {
+        // Bounds never touch the cost model's hot path and consume no
+        // evaluation budget themselves — the *pruned candidate* is charged
+        // by the mapper's recorder, which the watchdog sees through the
+        // counts reported at the next evaluate call.
+        self.inner.score_bound(m)
     }
 }
 

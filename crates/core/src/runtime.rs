@@ -485,6 +485,7 @@ impl LayerCheckpoint {
                 samples: Vec::new(),
                 pareto,
                 evaluated: self.evaluated,
+                pruned: 0,
                 elapsed: Duration::from_secs_f64(self.elapsed_secs.max(0.0)),
                 cache: mappers::CacheStats::default(),
             },

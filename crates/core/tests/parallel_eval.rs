@@ -75,6 +75,63 @@ fn parallel_runs_bit_identical_across_thread_counts() {
     }
 }
 
+/// An evaluator that hides the admissible score bound — reproducing the
+/// pre-pruning engine exactly — while forwarding everything else.
+struct NoBound<'a>(EdpEvaluator<'a>);
+
+impl mappers::Evaluator for NoBound<'_> {
+    fn evaluate(&self, m: &mapping::Mapping) -> Option<(costmodel::Cost, f64)> {
+        self.0.evaluate(m)
+    }
+
+    fn evaluate_batch(&self, batch: &[mapping::Mapping]) -> Vec<Option<(costmodel::Cost, f64)>> {
+        self.0.evaluate_batch(batch)
+    }
+    // `score_bound` stays the default `None`: pruning disabled.
+}
+
+/// Admissible-bound pruning must never change what a search finds: the
+/// bound-blind evaluator above (the pre-pruning engine) and the default
+/// bound-aware stack must agree on the incumbent, its score, and the
+/// sample count at every thread count — while the bound-aware runs
+/// actually skip work (`pruned > 0` somewhere across the matrix).
+#[test]
+fn bound_pruning_preserves_results_and_fires() {
+    let p = Problem::conv2d("c", 2, 16, 16, 14, 14, 3, 3);
+    let model = DenseModel::new(p, Arch::accel_b());
+    let mse = Mse::new(&model);
+    let mappers_under_test: Vec<Box<dyn Mapper>> =
+        vec![Box::new(Gamma::new()), Box::new(RandomMapper::new())];
+    let mut total_pruned = 0usize;
+    for mapper in &mappers_under_test {
+        let blind = NoBound(EdpEvaluator::new(&model));
+        let base = mse.run_guarded_with_evaluator(
+            mapper.as_ref(),
+            &blind,
+            Budget::samples(400),
+            11,
+            policy(EvalConfig::serial()),
+        );
+        let bres = base.result.as_ref().expect("bound-blind run produced a result");
+        assert_eq!(bres.pruned, 0, "{}: blind evaluator must never prune", mapper.name());
+        for threads in [1usize, 2, 8] {
+            let pruned_run = mse.run_guarded(
+                mapper.as_ref(),
+                Budget::samples(400),
+                11,
+                policy(EvalConfig { threads, cache_capacity: 0 }),
+            );
+            let pres = pruned_run.result.as_ref().expect("bound-aware run produced a result");
+            let tag = format!("{} @ {threads} threads", mapper.name());
+            assert_eq!(pres.best, bres.best, "{tag}: pruning changed the incumbent");
+            assert_eq!(pres.best_score, bres.best_score, "{tag}: pruning changed the score");
+            assert_eq!(pres.evaluated, bres.evaluated, "{tag}: pruning changed the budget walk");
+            total_pruned += pres.pruned;
+        }
+    }
+    assert!(total_pruned > 0, "bound pruning never fired across the test matrix");
+}
+
 /// One guarded+faulty run: a deterministic per-mapping NaN injector under
 /// the reject policy, so a fixed subset of mappings is quarantined no
 /// matter which thread (or cache shard) handles them.

@@ -318,104 +318,124 @@ impl AnalysisContext {
     /// per-MAC partial updates (the register boundary) are `occupancy`
     /// dense, while a fully reduced DRAM output is `1-(1-occ)^R` dense.
     fn out_density_at(&self, ext: &[u64]) -> f64 {
+        // Dense fast path: `(1 - 0^r).clamp(1, 1)` is 1.0 for every `r`
+        // (including `r = 0`, where the clamp floor takes over), so skip
+        // the `powf` — it dominates this function's cost.
+        if self.occupancy >= 1.0 {
+            return 1.0;
+        }
         let red_inside: f64 = self.reduction_dims.iter().map(|&d| ext[d] as f64).product();
         (1.0 - (1.0 - self.occupancy).powf(red_inside)).clamp(self.occupancy.min(1.0), 1.0)
     }
 
-    /// Evaluates one mapping (the per-mapping hot path).
-    ///
-    /// # Errors
-    ///
-    /// Returns a structural [`MappingError`] for illegal mappings, or
-    /// [`MappingError::CapacityExceeded`] under [`CapacityMode::Strict`].
-    pub fn analyze(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
-        let problem = &self.problem;
-        let arch = &self.arch;
-        m.validate_structure(problem, arch)?;
+    /// Capacity spill factor of one level given its resident-tile extents:
+    /// `1.0` when the tile fits, the overflow factor under
+    /// [`CapacityMode::Soft`], and [`MappingError::CapacityExceeded`] under
+    /// [`CapacityMode::Strict`].
+    pub(crate) fn spill_at(&self, li: usize, ext: &[u64]) -> Result<f64, MappingError> {
+        let Some(cap) = self.arch.level(li).capacity_words else { return Ok(1.0) };
+        let needed: f64 = self
+            .problem
+            .tensors()
+            .iter()
+            .zip(&self.cap_scale)
+            .map(|(t, s)| t.projection.footprint_f64(ext) * s)
+            .sum();
+        if needed > cap as f64 {
+            if self.capacity == CapacityMode::Strict {
+                return Err(MappingError::CapacityExceeded {
+                    level: li,
+                    needed_words: needed,
+                    capacity_words: cap,
+                });
+            }
+            return Ok(needed / cap as f64);
+        }
+        Ok(1.0)
+    }
 
+    /// Traffic contributed by one tensor at one loop-nest boundary
+    /// (parent = `i-1`, child = `i`; `i == num_levels` is the virtual
+    /// per-ALU register boundary with unit-tile extents `ext`). `sp` is the
+    /// child's spill factor. Pure per-(boundary, tensor) work, shared by the
+    /// one-shot, batched, and delta evaluation paths so all three perform
+    /// bit-identical floating-point operations.
+    pub(crate) fn boundary_contrib(
+        &self,
+        nest: &[Loop],
+        i: usize,
+        ext: &[u64],
+        sp: f64,
+        ti: usize,
+    ) -> BoundaryContrib {
+        let nl = self.arch.num_levels();
+        let t = &self.problem.tensors()[ti];
+        let f = t.projection.footprint_f64(ext);
+        let mask = self.relevance[ti];
+        let mult = multiplicities(nest, i, |d| mask & (1 << d) != 0);
+        let sc = if t.kind == TensorKind::Output {
+            // Per-level partial-output density (per-MAC updates at the
+            // register boundary, fully reduced tiles further out).
+            self.compress(self.out_density_at(ext))
+        } else if i == nl && self.caps.skipping {
+            // At the MAC boundary, skipping hardware only fetches operands
+            // for surviving (all-nonzero) MACs, regardless of which operand
+            // carries the zeros.
+            self.occupancy.min(self.scale[ti])
+        } else {
+            self.scale[ti]
+        };
+        match t.kind {
+            TensorKind::Input | TensorKind::Weight => BoundaryContrib {
+                parent_reads: mult.read * f * sc * sp,
+                parent_writes: 0.0,
+                child_reads: 0.0,
+                child_writes: mult.write * f * sc * sp,
+            },
+            TensorKind::Output => {
+                // Drains: every recycle of the child tile writes its
+                // contents up (spatial reduction collapses multicast).
+                // Accumulation refills: revisited tiles re-read their
+                // partials from the parent (first pass initializes).
+                let drains = mult.read * f * sc * sp;
+                let refills = (mult.read - mult.distinct).max(0.0) * f * sc * sp;
+                BoundaryContrib {
+                    parent_reads: refills,
+                    parent_writes: drains,
+                    child_reads: drains,
+                    child_writes: refills,
+                }
+            }
+        }
+    }
+
+    /// Adds one boundary contribution into the per-level traffic lanes.
+    /// Every cell receives exactly one add per (boundary, tensor) pair, in
+    /// the same order as the historical inline loop, so accumulation stays
+    /// bit-identical across evaluation paths (adding `+0.0` to a
+    /// non-negative cell is an IEEE no-op).
+    pub(crate) fn apply_contrib(per_level: &mut [LevelTraffic], i: usize, c: BoundaryContrib) {
+        per_level[i - 1].reads += c.parent_reads;
+        per_level[i - 1].writes += c.parent_writes;
+        if i < per_level.len() {
+            per_level[i].reads += c.child_reads;
+            per_level[i].writes += c.child_writes;
+        }
+    }
+
+    /// Datapath, energy, and roofline tail shared by every evaluation path:
+    /// turns accumulated per-level traffic plus spill factors into a full
+    /// [`Breakdown`].
+    pub(crate) fn finalize(
+        &self,
+        m: &Mapping,
+        per_level: Vec<LevelTraffic>,
+        spill: Vec<f64>,
+    ) -> Breakdown {
+        let arch = &self.arch;
         let nl = arch.num_levels();
-        let tensors = problem.tensors();
         let macs = self.macs;
         let occupancy = self.occupancy;
-
-        // Capacity: spill factor per level.
-        let mut spill = vec![1.0f64; nl];
-        for (li, spill_li) in spill.iter_mut().enumerate().take(nl) {
-            if let Some(cap) = arch.level(li).capacity_words {
-                let ext = m.tile_extents(li);
-                let needed: f64 = tensors
-                    .iter()
-                    .zip(&self.cap_scale)
-                    .map(|(t, s)| t.projection.footprint_f64(&ext) * s)
-                    .sum();
-                if needed > cap as f64 {
-                    if self.capacity == CapacityMode::Strict {
-                        return Err(MappingError::CapacityExceeded {
-                            level: li,
-                            needed_words: needed,
-                            capacity_words: cap,
-                        });
-                    }
-                    *spill_li = needed / cap as f64;
-                }
-            }
-        }
-
-        let nest = m.nest();
-        let mut per_level = vec![LevelTraffic::default(); nl];
-
-        // Boundaries: (parent = i-1, child = i) for i in 1..=nl, where
-        // i == nl is the virtual per-ALU register level (unit tiles) that
-        // models MAC operand fetch and accumulator drain.
-        for i in 1..=nl {
-            let ext = if i < nl { m.tile_extents(i) } else { self.unit_tile.clone() };
-            // Spill at the child inflates its boundary with the parent.
-            let sp = if i < nl { spill[i] } else { 1.0 };
-            for (ti, (t, &sc)) in tensors.iter().zip(&self.scale).enumerate() {
-                let f = t.projection.footprint_f64(&ext);
-                let mask = self.relevance[ti];
-                let mult = multiplicities(&nest, i, |d| mask & (1 << d) != 0);
-                let sc = if t.kind == TensorKind::Output {
-                    // Per-level partial-output density (per-MAC updates at
-                    // the register boundary, fully reduced tiles further
-                    // out).
-                    self.compress(self.out_density_at(&ext))
-                } else if i == nl && self.caps.skipping {
-                    // At the MAC boundary, skipping hardware only fetches
-                    // operands for surviving (all-nonzero) MACs, regardless
-                    // of which operand carries the zeros.
-                    occupancy.min(sc)
-                } else {
-                    sc
-                };
-                match t.kind {
-                    TensorKind::Input | TensorKind::Weight => {
-                        per_level[i - 1].reads += mult.read * f * sc * sp;
-                        if i < nl {
-                            per_level[i].writes += mult.write * f * sc * sp;
-                        }
-                    }
-                    TensorKind::Output => {
-                        // Drains: every recycle of the child tile writes its
-                        // contents up (spatial reduction collapses
-                        // multicast).
-                        let drains = mult.read * f * sc * sp;
-                        per_level[i - 1].writes += drains;
-                        if i < nl {
-                            per_level[i].reads += drains;
-                        }
-                        // Accumulation refills: revisited tiles re-read
-                        // their partials from the parent (first pass
-                        // initializes).
-                        let refills = (mult.read - mult.distinct).max(0.0) * f * sc * sp;
-                        per_level[i - 1].reads += refills;
-                        if i < nl {
-                            per_level[i].writes += refills;
-                        }
-                    }
-                }
-            }
-        }
 
         // Datapath: skipping removes zero cycles; gating removes zero
         // energy.
@@ -451,7 +471,7 @@ impl AnalysisContext {
         let latency = compute_cycles.max(bw_cycles.iter().copied().fold(0.0, f64::max)).max(1.0);
         let cost = Cost::new(latency, energy_pj * 1e-6);
 
-        Ok(Breakdown {
+        Breakdown {
             per_level,
             macs,
             cycle_macs,
@@ -463,8 +483,245 @@ impl AnalysisContext {
             bw_cycles,
             spill,
             cost,
+        }
+    }
+
+    /// Evaluates one mapping (the per-mapping hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structural [`MappingError`] for illegal mappings, or
+    /// [`MappingError::CapacityExceeded`] under [`CapacityMode::Strict`].
+    pub fn analyze(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
+        let problem = &self.problem;
+        let arch = &self.arch;
+        m.validate_structure(problem, arch)?;
+
+        let nl = arch.num_levels();
+        let nt = problem.tensors().len();
+
+        // Capacity: spill factor per level.
+        let mut spill = vec![1.0f64; nl];
+        for (li, spill_li) in spill.iter_mut().enumerate().take(nl) {
+            if arch.level(li).capacity_words.is_some() {
+                *spill_li = self.spill_at(li, &m.tile_extents(li))?;
+            }
+        }
+
+        let nest = m.nest();
+        let mut per_level = vec![LevelTraffic::default(); nl];
+
+        // Boundaries: (parent = i-1, child = i) for i in 1..=nl, where
+        // i == nl is the virtual per-ALU register level (unit tiles) that
+        // models MAC operand fetch and accumulator drain.
+        for i in 1..=nl {
+            let ext = if i < nl { m.tile_extents(i) } else { self.unit_tile.clone() };
+            // Spill at the child inflates its boundary with the parent
+            // (the register boundary `i == nl` has none).
+            let sp = spill.get(i).copied().unwrap_or(1.0);
+            for ti in 0..nt {
+                let c = self.boundary_contrib(&nest, i, &ext, sp, ti);
+                Self::apply_contrib(&mut per_level, i, c);
+            }
+        }
+
+        Ok(self.finalize(m, per_level, spill))
+    }
+
+    /// Evaluates a whole batch in one pass over structure-of-arrays
+    /// scratch: one loop-nest arena, one extents arena, and level-major
+    /// traffic lanes shared by every mapping in the batch, instead of the
+    /// ~10 per-mapping allocations the one-shot path performs. Results are
+    /// bit-identical to calling [`AnalysisContext::analyze`] per mapping:
+    /// each mapping's cells are touched in the same boundary/tensor order
+    /// with the same operands, so floating-point accumulation order is
+    /// unchanged.
+    pub fn analyze_batch(&self, ms: &[Mapping]) -> Vec<Result<Breakdown, MappingError>> {
+        let nl = self.arch.num_levels();
+        let nt = self.problem.tensors().len();
+        let d = self.problem.num_dims();
+        let n = ms.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Lanes that fail validation or strict capacity park their error
+        // here and drop out of the shared passes.
+        let mut errs: Vec<Option<MappingError>> = vec![None; n];
+
+        // Extents arena, boundary-major: lane (i, mi) holds the tile
+        // extents of level i for mapping mi; level nl is the all-unit
+        // virtual register tile (the arena's initial state).
+        let mut ext = vec![1u64; (nl + 1) * n * d];
+        let lane = |i: usize, mi: usize| (i * n + mi) * d..(i * n + mi + 1) * d;
+        for (mi, m) in ms.iter().enumerate() {
+            if let Err(e) = m.validate_structure(&self.problem, &self.arch) {
+                errs[mi] = Some(e);
+                continue;
+            }
+            // Backward sweep: ext(li) = ext(li+1) × level li's factors.
+            // Integer multiplication is exact, so the values equal
+            // `m.tile_extents(li)` bit-for-bit.
+            for li in (0..nl).rev() {
+                let (dst, src) = (lane(li, mi), lane(li + 1, mi));
+                let l = &m.levels()[li];
+                for dim in 0..d {
+                    ext[dst.start + dim] = ext[src.start + dim] * l.temporal[dim] * l.spatial[dim];
+                }
+            }
+        }
+
+        // Spill factors, mapping-major.
+        let mut spill = vec![1.0f64; n * nl];
+        for mi in 0..n {
+            if errs[mi].is_some() {
+                continue;
+            }
+            for li in 0..nl {
+                match self.spill_at(li, &ext[lane(li, mi)]) {
+                    Ok(s) => spill[mi * nl + li] = s,
+                    Err(e) => {
+                        errs[mi] = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Loop-nest arena.
+        let mut nest_arena: Vec<Loop> = Vec::with_capacity(n * nl * d);
+        let mut nest_off = vec![0usize; n + 1];
+        for (mi, m) in ms.iter().enumerate() {
+            if errs[mi].is_none() {
+                m.nest_into(&mut nest_arena);
+            }
+            nest_off[mi + 1] = nest_arena.len();
+        }
+
+        // Traffic pass, boundary-major across the batch: every mapping's
+        // cells still see boundary i strictly before i+1 and tensors in
+        // canonical order, so per-mapping accumulation matches `analyze`.
+        let mut per_level = vec![LevelTraffic::default(); n * nl];
+        for i in 1..=nl {
+            for mi in 0..n {
+                if errs[mi].is_some() {
+                    continue;
+                }
+                let ext_i = &ext[lane(i, mi)];
+                let sp = if i < nl { spill[mi * nl + i] } else { 1.0 };
+                let nest = &nest_arena[nest_off[mi]..nest_off[mi + 1]];
+                let lanes = &mut per_level[mi * nl..(mi + 1) * nl];
+                for ti in 0..nt {
+                    let c = self.boundary_contrib(nest, i, ext_i, sp, ti);
+                    Self::apply_contrib(lanes, i, c);
+                }
+            }
+        }
+
+        ms.iter()
+            .enumerate()
+            .map(|(mi, m)| match errs[mi].take() {
+                Some(e) => Err(e),
+                None => Ok(self.finalize(
+                    m,
+                    per_level[mi * nl..(mi + 1) * nl].to_vec(),
+                    spill[mi * nl..(mi + 1) * nl].to_vec(),
+                )),
+            })
+            .collect()
+    }
+
+    /// Admissible lower bound on the cost of `m`: provably
+    /// `bound ≤ analyze(m).cost` component-wise (and therefore on EDP), so
+    /// a candidate whose bound already exceeds the incumbent can be skipped
+    /// without evaluation and without changing any search result. `None`
+    /// when the mapping is structurally invalid (full evaluation reports
+    /// the error).
+    ///
+    /// The bound inverts the guard layer's floors; see [`BoundReport`] for
+    /// the admissibility argument per term.
+    pub fn bound(&self, m: &Mapping) -> Option<BoundReport> {
+        m.validate_structure(&self.problem, &self.arch).ok()?;
+        // Joint operand occupancy lower-bounds every traffic/cycle/energy
+        // scale the engine can apply (compression keeps ≥ density words;
+        // gating/skipping keep ≥ occupancy MACs); 1.0 for dense.
+        let floor = self.occupancy.min(1.0);
+        let ext0 = m.tile_extents(0);
+        let full: f64 = self
+            .problem
+            .tensors()
+            .iter()
+            .filter(|t| t.kind != TensorKind::Output)
+            .map(|t| t.projection.footprint_f64(&ext0))
+            .sum();
+        let l0 = self.arch.level(0);
+        let compute_latency = self.macs * floor / m.used_lanes() as f64;
+        let dram_bw_latency = full * floor / l0.bandwidth;
+        let latency = compute_latency.max(dram_bw_latency).max(1.0);
+        let mac_energy_pj = self.macs * floor * self.arch.mac_energy;
+        let dram_energy_pj = full * floor * l0.energy_per_access;
+        let energy_uj = (mac_energy_pj + dram_energy_pj) * 1e-6;
+        Some(BoundReport {
+            compute_latency,
+            dram_bw_latency,
+            latency,
+            mac_energy_pj,
+            dram_energy_pj,
+            cost: Cost::new(latency, energy_uj),
         })
     }
+}
+
+/// Traffic contributed by one tensor at one loop-nest boundary, split by
+/// which side of the boundary each word lands on. Cached per boundary by the
+/// delta evaluator and re-applied in canonical order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct BoundaryContrib {
+    /// Words read out of the parent level (`i-1`).
+    pub parent_reads: f64,
+    /// Words written into the parent level (output drains).
+    pub parent_writes: f64,
+    /// Words read out of the child level (`i`; dropped at the register
+    /// boundary).
+    pub child_reads: f64,
+    /// Words written into the child level (fills / accumulation refills).
+    pub child_writes: f64,
+}
+
+/// Per-floor breakdown of the admissible lower bound
+/// ([`AnalysisContext::bound`]), printable via `mapex evaluate
+/// --explain-bound`.
+///
+/// Admissibility, term by term (`floor` = joint operand occupancy, 1 for
+/// dense; every engine scale — compression, gating, skipping, spill ≥ 1 —
+/// is ≥ `floor` or only inflates):
+///
+/// * `compute_latency = macs × floor / used_lanes(m)`: true latency ≥
+///   `compute_cycles = (cycle_macs + style_work) / used_lanes` and
+///   `cycle_macs ≥ macs × floor`, `style_work ≥ 0`.
+/// * `dram_bw_latency = Σ non-output footprints × floor / bw₀`: true
+///   latency ≥ `bw_cycles[0] = total₀ / bw₀` (one DRAM instance), and DRAM
+///   reads alone cover each non-output tensor once (the compulsory-traffic
+///   floor the guard layer enforces).
+/// * `latency = max(1, …)`: the engine clamps latency to ≥ 1 cycle.
+/// * `mac_energy_pj = macs × floor × mac_energy`: `energy_macs ≥ macs ×
+///   floor` in every gating/skipping mode.
+/// * `dram_energy_pj`: the compulsory DRAM reads again, priced at the DRAM
+///   access energy; all other levels' traffic only adds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundReport {
+    /// Compute-roofline latency floor (cycles).
+    pub compute_latency: f64,
+    /// DRAM-bandwidth latency floor from compulsory traffic (cycles).
+    pub dram_bw_latency: f64,
+    /// Combined admissible latency bound (cycles, ≥ 1).
+    pub latency: f64,
+    /// MAC energy floor (pJ).
+    pub mac_energy_pj: f64,
+    /// Compulsory DRAM traffic energy floor (pJ).
+    pub dram_energy_pj: f64,
+    /// The bound as a [`Cost`] (µJ), comparable against true costs.
+    pub cost: Cost,
 }
 
 #[cfg(test)]

@@ -1,0 +1,268 @@
+//! Delta re-evaluation: incremental costing of single-gene neighbors.
+//!
+//! Local-search mappers (gamma's mutations, annealing, hill-climbing)
+//! mostly evaluate *neighbors* of a mapping they already costed — one tile
+//! factor moved or one loop order permuted. A full [`AnalysisContext`]
+//! evaluation redoes every loop-nest boundary from scratch; a
+//! [`DeltaContext`] caches the parent's per-boundary traffic contributions
+//! and recomputes only the boundaries the edit actually invalidates.
+//!
+//! Reuse is *diff-based*, not edit-description-based: boundary `i`'s
+//! contributions are a pure function of (a) the loop levels strictly
+//! outside it (`0..i`, which determine refetch multiplicities), (b) the
+//! child tile extents at level `i`, and (c) the child spill factor (itself
+//! a function of those extents). A boundary is reused iff all three are
+//! value-equal to the parent's, so any neighbor — however it was produced —
+//! is evaluated correctly; edits just make most boundaries hit.
+//!
+//! Bit-identity with [`AnalysisContext::analyze`] is structural: cached
+//! contributions are the exact `f64`s the full path would recompute, and
+//! they are re-applied in the same boundary/tensor order, so every
+//! accumulation performs the same IEEE operations. The
+//! `batch_delta_diff` differential suite pins this over thousands of
+//! random (parent, neighbor) pairs.
+
+use crate::analysis::{AnalysisContext, Breakdown, BoundaryContrib, LevelTraffic};
+use mapping::{Loop, Mapping, MappingError};
+
+/// Reusable per-neighbor workspace: a batch of neighbors shares these
+/// buffers instead of reallocating them per evaluation (the vectors that
+/// end up owned by the returned [`Breakdown`] are still fresh per call).
+#[derive(Debug, Default)]
+struct Scratch {
+    extents: Vec<u64>,
+    ext_eq: Vec<bool>,
+    nest: Vec<Loop>,
+}
+
+/// Incremental evaluator anchored at one parent mapping (see the
+/// [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct DeltaContext<'a> {
+    ctx: &'a AnalysisContext,
+    parent: Mapping,
+    parent_breakdown: Breakdown,
+    /// Parent tile extents, levels `0..nl` flattened (`num_dims` each).
+    extents: Vec<u64>,
+    /// Parent per-level spill factors.
+    spill: Vec<f64>,
+    /// Cached contributions, boundary-major: `[(i-1) * nt + ti]`.
+    contribs: Vec<BoundaryContrib>,
+    /// All-unit register-tile extents (shared by every evaluation).
+    unit: Vec<u64>,
+}
+
+impl<'a> DeltaContext<'a> {
+    /// Evaluates `parent` in full and caches its per-boundary state.
+    ///
+    /// # Errors
+    ///
+    /// Same legality rules as [`AnalysisContext::analyze`].
+    pub fn new(ctx: &'a AnalysisContext, parent: &Mapping) -> Result<Self, MappingError> {
+        let arch = ctx.arch();
+        let problem = ctx.problem();
+        parent.validate_structure(problem, arch)?;
+        let nl = arch.num_levels();
+        let nt = problem.tensors().len();
+        let d = problem.num_dims();
+
+        let mut extents = vec![1u64; nl * d];
+        sweep_extents(parent, nl, d, &mut extents);
+        let mut spill = vec![1.0f64; nl];
+        for li in 0..nl {
+            spill[li] = ctx.spill_at(li, &extents[li * d..(li + 1) * d])?;
+        }
+
+        let nest = parent.nest();
+        let unit = vec![1u64; d];
+        let mut contribs = vec![BoundaryContrib::default(); nl * nt];
+        let mut per_level = vec![LevelTraffic::default(); nl];
+        for i in 1..=nl {
+            let ext = if i < nl { &extents[i * d..(i + 1) * d] } else { &unit[..] };
+            let sp = if i < nl { spill[i] } else { 1.0 };
+            for ti in 0..nt {
+                let c = ctx.boundary_contrib(&nest, i, ext, sp, ti);
+                contribs[(i - 1) * nt + ti] = c;
+                AnalysisContext::apply_contrib(&mut per_level, i, c);
+            }
+        }
+        let parent_breakdown = ctx.finalize(parent, per_level, spill.clone());
+
+        Ok(DeltaContext {
+            ctx,
+            parent: parent.clone(),
+            parent_breakdown,
+            extents,
+            spill,
+            contribs,
+            unit,
+        })
+    }
+
+    /// The parent this context is anchored at.
+    pub fn parent(&self) -> &Mapping {
+        &self.parent
+    }
+
+    /// The parent's full breakdown (computed once at construction).
+    pub fn parent_breakdown(&self) -> &Breakdown {
+        &self.parent_breakdown
+    }
+
+    /// Evaluates one neighbor, reusing every boundary the diff against the
+    /// parent leaves intact. Bit-identical to
+    /// [`AnalysisContext::analyze`]`(m)`.
+    ///
+    /// # Errors
+    ///
+    /// Same legality rules as [`AnalysisContext::analyze`].
+    pub fn evaluate(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
+        self.evaluate_with(m, &mut Scratch::default())
+    }
+
+    fn evaluate_with(&self, m: &Mapping, s: &mut Scratch) -> Result<Breakdown, MappingError> {
+        let ctx = self.ctx;
+        let arch = ctx.arch();
+        let problem = ctx.problem();
+        m.validate_structure(problem, arch)?;
+        let nl = arch.num_levels();
+        let nt = problem.tensors().len();
+        let d = problem.num_dims();
+
+        // First level where the neighbor differs from the parent: boundary
+        // i's multiplicities scan levels 0..i, so they are reusable iff
+        // i <= first_diff.
+        let first_diff = (0..nl)
+            .find(|&l| m.levels()[l] != self.parent.levels()[l])
+            .unwrap_or(nl);
+
+        // Extents: integer backward sweep (cheap), then value-compare per
+        // level to decide spill/contribution reuse.
+        s.extents.clear();
+        s.extents.resize(nl * d, 1);
+        sweep_extents(m, nl, d, &mut s.extents);
+        let extents = &s.extents;
+        s.ext_eq.clear();
+        s.ext_eq.resize(nl, false);
+        for li in 0..nl {
+            s.ext_eq[li] = extents[li * d..(li + 1) * d] == self.extents[li * d..(li + 1) * d];
+        }
+        let ext_eq = &s.ext_eq;
+
+        // Spill is a pure function of the level's extents: reuse on
+        // equality, recompute (propagating strict-capacity errors) on diff.
+        let mut spill = vec![1.0f64; nl];
+        for li in 0..nl {
+            spill[li] = if ext_eq[li] {
+                self.spill[li]
+            } else {
+                ctx.spill_at(li, &extents[li * d..(li + 1) * d])?
+            };
+        }
+
+        // The nest is only needed for recomputed boundaries.
+        let all_reused = first_diff == nl;
+        s.nest.clear();
+        if !all_reused {
+            m.nest_into(&mut s.nest);
+        }
+        let nest = &s.nest;
+
+        let mut per_level = vec![LevelTraffic::default(); nl];
+        for i in 1..=nl {
+            // Boundary nl's multiplicities scan the whole nest, so it is
+            // only reusable when the neighbor equals the parent outright.
+            let reuse = i <= first_diff && (i == nl || ext_eq[i]);
+            let ext = if i < nl { &extents[i * d..(i + 1) * d] } else { &self.unit[..] };
+            let sp = if i < nl { spill[i] } else { 1.0 };
+            for ti in 0..nt {
+                let c = if reuse {
+                    self.contribs[(i - 1) * nt + ti]
+                } else {
+                    ctx.boundary_contrib(nest, i, ext, sp, ti)
+                };
+                AnalysisContext::apply_contrib(&mut per_level, i, c);
+            }
+        }
+        Ok(ctx.finalize(m, per_level, spill))
+    }
+
+    /// Evaluates a slice of neighbors (see [`DeltaContext::evaluate`]).
+    /// The whole batch shares one scratch workspace.
+    pub fn evaluate_neighbors(
+        &self,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Breakdown, MappingError>> {
+        let mut scratch = Scratch::default();
+        neighbors.iter().map(|m| self.evaluate_with(m, &mut scratch)).collect()
+    }
+}
+
+/// Backward suffix-product sweep filling `out[li * d..]` with
+/// `m.tile_extents(li)` for every level, in one pass.
+fn sweep_extents(m: &Mapping, nl: usize, d: usize, out: &mut [u64]) {
+    for li in (0..nl).rev() {
+        let l = &m.levels()[li];
+        for dim in 0..d {
+            let above = if li + 1 < nl { out[(li + 1) * d + dim] } else { 1 };
+            out[li * d + dim] = above * l.temporal[dim] * l.spatial[dim];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::{Arch, SparseCaps};
+    use crate::analysis::CapacityMode;
+    use mapping::MapSpace;
+    use problem::{Density, Problem};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parent_breakdown_matches_full_analyze() {
+        let p = Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3);
+        let a = Arch::accel_b();
+        let ctx = AnalysisContext::new(
+            &p,
+            &a,
+            Density::DENSE,
+            &SparseCaps::none(),
+            CapacityMode::Strict,
+        );
+        let s = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let m = s.random(&mut rng);
+            let delta = DeltaContext::new(&ctx, &m).unwrap();
+            assert_eq!(*delta.parent_breakdown(), ctx.analyze(&m).unwrap());
+        }
+    }
+
+    #[test]
+    fn arbitrary_neighbor_matches_full_analyze() {
+        // Even a "neighbor" sharing nothing with the parent must evaluate
+        // correctly (diff-based reuse simply never fires).
+        let p = Problem::conv2d("t", 2, 8, 8, 7, 7, 3, 3);
+        let a = Arch::accel_b();
+        let ctx = AnalysisContext::new(
+            &p,
+            &a,
+            Density::DENSE,
+            &SparseCaps::none(),
+            CapacityMode::Strict,
+        );
+        let s = MapSpace::new(p.clone(), a.clone());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let parent = s.random(&mut rng);
+        let delta = DeltaContext::new(&ctx, &parent).unwrap();
+        for _ in 0..50 {
+            let m = s.random(&mut rng);
+            assert_eq!(delta.evaluate(&m).unwrap(), ctx.analyze(&m).unwrap());
+        }
+        // Identity neighbor: everything (including the register boundary)
+        // is reused.
+        assert_eq!(delta.evaluate(&parent).unwrap(), *delta.parent_breakdown());
+    }
+}

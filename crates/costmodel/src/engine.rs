@@ -3,6 +3,7 @@
 
 use crate::analysis::{AnalysisContext, Breakdown, CapacityMode};
 use crate::cost::Cost;
+use crate::delta::DeltaContext;
 use arch::{Arch, SparseCaps};
 use mapping::{Mapping, MappingError};
 use problem::{Density, Problem};
@@ -34,6 +35,56 @@ pub trait CostModel: Sync {
     ///
     /// Returns a [`MappingError`] if the mapping is illegal.
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError>;
+
+    /// Evaluates a batch. The default is a per-item loop; the analytical
+    /// engines override it with one structure-of-arrays pass
+    /// ([`AnalysisContext::analyze_batch`]). Results must be bit-identical
+    /// to per-item [`CostModel::evaluate`] calls in batch order.
+    fn evaluate_batch(&self, ms: &[Mapping]) -> Vec<Result<Cost, MappingError>> {
+        ms.iter().map(|m| self.evaluate(m)).collect()
+    }
+
+    /// Detailed batch evaluation (same contract as
+    /// [`CostModel::evaluate_batch`]).
+    fn evaluate_detailed_batch(&self, ms: &[Mapping]) -> Vec<Result<Breakdown, MappingError>> {
+        ms.iter().map(|m| self.evaluate_detailed(m)).collect()
+    }
+
+    /// Evaluates neighbors of an already-costed `parent`. The default
+    /// ignores the parent; the analytical engines override it with delta
+    /// re-evaluation ([`DeltaContext`]), which reuses every loop-nest
+    /// boundary the diff against the parent leaves intact. Bit-identical to
+    /// [`CostModel::evaluate_batch`] by contract.
+    fn evaluate_neighbors(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Cost, MappingError>> {
+        let _ = parent;
+        self.evaluate_batch(neighbors)
+    }
+
+    /// Detailed neighbor evaluation (same contract as
+    /// [`CostModel::evaluate_neighbors`]).
+    fn evaluate_neighbors_detailed(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Breakdown, MappingError>> {
+        let _ = parent;
+        self.evaluate_detailed_batch(neighbors)
+    }
+
+    /// Admissible lower bound on the cost of `m`: when `Some(b)`, the model
+    /// guarantees `b ≤ evaluate(m)` component-wise (and on EDP), so callers
+    /// may skip full evaluation of candidates whose bound already exceeds
+    /// an incumbent without changing any search result. `None` means "no
+    /// bound available — always evaluate" (the default; also what fault
+    /// injectors return so pruning never masks an injected fault).
+    fn cost_bound(&self, m: &Mapping) -> Option<Cost> {
+        let _ = m;
+        None
+    }
 }
 
 /// Boxed models evaluate by delegation, so decorator stacks (guards, fault
@@ -54,6 +105,34 @@ impl<M: CostModel + ?Sized> CostModel for Box<M> {
 
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
         (**self).evaluate_detailed(m)
+    }
+
+    fn evaluate_batch(&self, ms: &[Mapping]) -> Vec<Result<Cost, MappingError>> {
+        (**self).evaluate_batch(ms)
+    }
+
+    fn evaluate_detailed_batch(&self, ms: &[Mapping]) -> Vec<Result<Breakdown, MappingError>> {
+        (**self).evaluate_detailed_batch(ms)
+    }
+
+    fn evaluate_neighbors(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Cost, MappingError>> {
+        (**self).evaluate_neighbors(parent, neighbors)
+    }
+
+    fn evaluate_neighbors_detailed(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Breakdown, MappingError>> {
+        (**self).evaluate_neighbors_detailed(parent, neighbors)
+    }
+
+    fn cost_bound(&self, m: &Mapping) -> Option<Cost> {
+        (**self).cost_bound(m)
     }
 }
 
@@ -96,6 +175,42 @@ impl CostModel for DenseModel {
 
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
         self.ctx.analyze(m)
+    }
+
+    fn evaluate_batch(&self, ms: &[Mapping]) -> Vec<Result<Cost, MappingError>> {
+        self.ctx.analyze_batch(ms).into_iter().map(|r| r.map(|b| b.cost)).collect()
+    }
+
+    fn evaluate_detailed_batch(&self, ms: &[Mapping]) -> Vec<Result<Breakdown, MappingError>> {
+        self.ctx.analyze_batch(ms)
+    }
+
+    fn evaluate_neighbors(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Cost, MappingError>> {
+        self.evaluate_neighbors_detailed(parent, neighbors)
+            .into_iter()
+            .map(|r| r.map(|b| b.cost))
+            .collect()
+    }
+
+    fn evaluate_neighbors_detailed(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Breakdown, MappingError>> {
+        match DeltaContext::new(&self.ctx, parent) {
+            Ok(delta) => delta.evaluate_neighbors(neighbors),
+            // Illegal parent: nothing to anchor on, fall back to the batch
+            // path (bit-identical either way).
+            Err(_) => self.ctx.analyze_batch(neighbors),
+        }
+    }
+
+    fn cost_bound(&self, m: &Mapping) -> Option<Cost> {
+        self.ctx.bound(m).map(|b| b.cost)
     }
 }
 
@@ -150,6 +265,40 @@ impl CostModel for SparseModel {
 
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
         self.ctx.analyze(m)
+    }
+
+    fn evaluate_batch(&self, ms: &[Mapping]) -> Vec<Result<Cost, MappingError>> {
+        self.ctx.analyze_batch(ms).into_iter().map(|r| r.map(|b| b.cost)).collect()
+    }
+
+    fn evaluate_detailed_batch(&self, ms: &[Mapping]) -> Vec<Result<Breakdown, MappingError>> {
+        self.ctx.analyze_batch(ms)
+    }
+
+    fn evaluate_neighbors(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Cost, MappingError>> {
+        self.evaluate_neighbors_detailed(parent, neighbors)
+            .into_iter()
+            .map(|r| r.map(|b| b.cost))
+            .collect()
+    }
+
+    fn evaluate_neighbors_detailed(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Breakdown, MappingError>> {
+        match DeltaContext::new(&self.ctx, parent) {
+            Ok(delta) => delta.evaluate_neighbors(neighbors),
+            Err(_) => self.ctx.analyze_batch(neighbors),
+        }
+    }
+
+    fn cost_bound(&self, m: &Mapping) -> Option<Cost> {
+        self.ctx.bound(m).map(|b| b.cost)
     }
 }
 

@@ -448,6 +448,45 @@ impl<M: CostModel> GuardedModel<M> {
 
         out
     }
+
+    /// Post-evaluation guard sequence for one item: invariant checks, the
+    /// periodic determinism spot-check (keyed on the evaluation ordinal
+    /// `n`), and policy handling. Shared verbatim by the one-shot, batched,
+    /// and delta evaluation paths so accounting stays exact.
+    fn guard_one(&self, m: &Mapping, b: Breakdown, n: u64) -> Result<Breakdown, MappingError> {
+        if self.config.policy == GuardPolicy::Trust {
+            return Ok(b);
+        }
+        let mut found = self.check(m, &b);
+        let every = self.config.spot_check_every;
+        if every > 0 && n.is_multiple_of(every) {
+            if let Ok(again) = self.inner.evaluate_detailed(m) {
+                let same = again.cost.latency_cycles.to_bits()
+                    == b.cost.latency_cycles.to_bits()
+                    && again.cost.energy_uj.to_bits() == b.cost.energy_uj.to_bits();
+                if !same {
+                    found.push(InvariantViolation {
+                        invariant: Invariant::NonDeterminism,
+                        level: None,
+                        observed: again.cost.edp(),
+                        bound: b.cost.edp(),
+                    });
+                }
+            }
+        }
+        if found.is_empty() {
+            return Ok(b);
+        }
+        self.record(&found);
+        match self.config.policy {
+            GuardPolicy::Warn => Ok(b),
+            GuardPolicy::Trust => unreachable!("Trust returns before checking"),
+            GuardPolicy::Reject => {
+                self.rejections.fetch_add(1, Ordering::Relaxed);
+                Err(found[0].to_error())
+            }
+        }
+    }
 }
 
 impl<M: CostModel> GuardAudit for GuardedModel<M> {
@@ -482,38 +521,63 @@ impl<M: CostModel> CostModel for GuardedModel<M> {
     fn evaluate_detailed(&self, m: &Mapping) -> Result<Breakdown, MappingError> {
         let n = self.evaluations.fetch_add(1, Ordering::Relaxed);
         let b = self.inner.evaluate_detailed(m)?;
-        if self.config.policy == GuardPolicy::Trust {
-            return Ok(b);
-        }
-        let mut found = self.check(m, &b);
-        let every = self.config.spot_check_every;
-        if every > 0 && n.is_multiple_of(every) {
-            if let Ok(again) = self.inner.evaluate_detailed(m) {
-                let same = again.cost.latency_cycles.to_bits()
-                    == b.cost.latency_cycles.to_bits()
-                    && again.cost.energy_uj.to_bits() == b.cost.energy_uj.to_bits();
-                if !same {
-                    found.push(InvariantViolation {
-                        invariant: Invariant::NonDeterminism,
-                        level: None,
-                        observed: again.cost.edp(),
-                        bound: b.cost.edp(),
-                    });
-                }
-            }
-        }
-        if found.is_empty() {
-            return Ok(b);
-        }
-        self.record(&found);
-        match self.config.policy {
-            GuardPolicy::Warn => Ok(b),
-            GuardPolicy::Trust => unreachable!("Trust returns before checking"),
-            GuardPolicy::Reject => {
-                self.rejections.fetch_add(1, Ordering::Relaxed);
-                Err(found[0].to_error())
-            }
-        }
+        self.guard_one(m, b, n)
+    }
+
+    fn evaluate_batch(&self, ms: &[Mapping]) -> Vec<Result<Cost, MappingError>> {
+        self.evaluate_detailed_batch(ms).into_iter().map(|r| r.map(|b| b.cost)).collect()
+    }
+
+    fn evaluate_detailed_batch(&self, ms: &[Mapping]) -> Vec<Result<Breakdown, MappingError>> {
+        // Inner batch first (the SoA fast path), then the exact per-item
+        // guard sequence: every item still counts one evaluation, runs the
+        // full invariant set, and is eligible for the periodic determinism
+        // spot-check (which re-evaluates through the one-shot path,
+        // cross-validating the batch engine in production).
+        let inner = self.inner.evaluate_detailed_batch(ms);
+        ms.iter()
+            .zip(inner)
+            .map(|(m, r)| {
+                let n = self.evaluations.fetch_add(1, Ordering::Relaxed);
+                self.guard_one(m, r?, n)
+            })
+            .collect()
+    }
+
+    fn evaluate_neighbors(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Cost, MappingError>> {
+        self.evaluate_neighbors_detailed(parent, neighbors)
+            .into_iter()
+            .map(|r| r.map(|b| b.cost))
+            .collect()
+    }
+
+    fn evaluate_neighbors_detailed(
+        &self,
+        parent: &Mapping,
+        neighbors: &[Mapping],
+    ) -> Vec<Result<Breakdown, MappingError>> {
+        let inner = self.inner.evaluate_neighbors_detailed(parent, neighbors);
+        neighbors
+            .iter()
+            .zip(inner)
+            .map(|(m, r)| {
+                let n = self.evaluations.fetch_add(1, Ordering::Relaxed);
+                self.guard_one(m, r?, n)
+            })
+            .collect()
+    }
+
+    fn cost_bound(&self, m: &Mapping) -> Option<Cost> {
+        // The bound is analytical (independent of the wrapped model's
+        // evaluation path) and only ever *skips* provably-dominated
+        // candidates, so forwarding it cannot change what the guard would
+        // accept; models without a bound (fault injectors) return None and
+        // disable pruning entirely.
+        self.inner.cost_bound(m)
     }
 }
 

@@ -26,13 +26,15 @@
 
 mod analysis;
 mod cost;
+mod delta;
 mod engine;
 pub mod fault;
 pub mod guard;
 pub mod style;
 
-pub use analysis::{analyze, AnalysisContext, Breakdown, CapacityMode, LevelTraffic};
+pub use analysis::{analyze, AnalysisContext, BoundReport, Breakdown, CapacityMode, LevelTraffic};
 pub use cost::Cost;
+pub use delta::DeltaContext;
 pub use engine::{CostModel, DenseModel, SparseModel};
 pub use fault::{FaultConfig, FaultyModel, InjectedFault};
 pub use guard::{

@@ -1,0 +1,198 @@
+//! Differential suite pinning the batched (SoA) and delta (incremental)
+//! evaluation paths to the one-shot [`AnalysisContext::analyze`] reference,
+//! bit for bit, and the admissible lower bound to its soundness contract.
+//!
+//! These are the acceptance tests for the fast evaluation paths: any
+//! divergence — even in the last ulp, or in *which* error a doomed mapping
+//! produces — is a bug, because search trajectories and the evaluation
+//! guard both assume the three paths are interchangeable.
+
+use arch::{Arch, SparseCaps};
+use costmodel::{AnalysisContext, CapacityMode, DeltaContext};
+use mapping::{MapSpace, Mapping};
+use problem::{Density, Problem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Every (problem, arch preset, density regime) combination under test.
+/// Dense runs use strict capacity (the `DenseModel` configuration), sparse
+/// runs soft capacity with flexible sparse hardware (the `SparseModel`
+/// configuration), so both `CapacityMode` branches are exercised.
+fn configs() -> Vec<(String, AnalysisContext, MapSpace)> {
+    let problems =
+        [Problem::conv2d("conv", 2, 16, 16, 14, 14, 3, 3), Problem::gemm("gemm", 2, 32, 32, 32)];
+    let archs = [Arch::accel_a(), Arch::accel_b()];
+    let mut out = Vec::new();
+    for p in &problems {
+        for a in &archs {
+            out.push((
+                format!("{}/{}/dense", p.name(), a.name()),
+                AnalysisContext::new(p, a, Density::DENSE, &SparseCaps::none(), CapacityMode::Strict),
+                MapSpace::new(p.clone(), a.clone()),
+            ));
+            out.push((
+                format!("{}/{}/sparse", p.name(), a.name()),
+                AnalysisContext::new(
+                    p,
+                    a,
+                    Density::weight_sparse(0.3),
+                    &SparseCaps::flexible(),
+                    CapacityMode::Soft,
+                ),
+                MapSpace::new(p.clone(), a.clone()),
+            ));
+        }
+    }
+    out
+}
+
+fn smallest_divisor(n: u64) -> u64 {
+    (2..=n).find(|p| n.is_multiple_of(*p)).unwrap_or(n)
+}
+
+/// One hand-rolled single-gene edit, mirroring the mapper operators
+/// (mutate-order / mutate-tile / mutate-parallelism) without depending on
+/// the `mappers` crate. Every edit preserves the per-dimension factor
+/// products, so the neighbor stays structurally legal; capacity violations
+/// are allowed (both paths must then report the *same* error).
+fn mutate(m: &Mapping, rng: &mut SmallRng) -> Mapping {
+    let mut c = m.clone();
+    let nl = c.levels().len();
+    let d = c.levels()[0].temporal.len();
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let l = rng.gen_range(0..nl);
+            let i = rng.gen_range(0..d);
+            let j = rng.gen_range(0..d);
+            c.levels_mut()[l].order.swap(i, j);
+        }
+        1 => {
+            let dim = rng.gen_range(0..d);
+            let from = rng.gen_range(0..nl);
+            let to = rng.gen_range(0..nl);
+            let f = c.levels()[from].temporal[dim];
+            if from != to && f > 1 {
+                let g = smallest_divisor(f);
+                c.levels_mut()[from].temporal[dim] /= g;
+                c.levels_mut()[to].temporal[dim] *= g;
+            }
+        }
+        _ => {
+            let dim = rng.gen_range(0..d);
+            let l = rng.gen_range(0..nl);
+            let s = c.levels()[l].spatial[dim];
+            let t = c.levels()[l].temporal[dim];
+            if s > 1 {
+                let g = smallest_divisor(s);
+                c.levels_mut()[l].spatial[dim] /= g;
+                c.levels_mut()[l].temporal[dim] *= g;
+            } else if t > 1 {
+                let g = smallest_divisor(t);
+                c.levels_mut()[l].temporal[dim] /= g;
+                c.levels_mut()[l].spatial[dim] *= g;
+            }
+        }
+    }
+    c
+}
+
+/// `analyze_batch` must return exactly what per-mapping `analyze` returns —
+/// same breakdowns to the bit, same errors for doomed mappings — across
+/// ≥1000 random mappings per configuration.
+#[test]
+fn batch_matches_one_shot_bit_for_bit() {
+    for (tag, ctx, space) in configs() {
+        let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+        let mappings: Vec<Mapping> = (0..1000).map(|_| space.random(&mut rng)).collect();
+        // Mixed batch sizes: singletons, odd sizes, and one huge batch, so
+        // the SoA arenas are exercised at every shape.
+        for chunk in [1usize, 7, 64, 1000] {
+            for ms in mappings.chunks(chunk) {
+                let batched = ctx.analyze_batch(ms);
+                assert_eq!(batched.len(), ms.len(), "{tag}: batch length");
+                for (m, b) in ms.iter().zip(batched) {
+                    assert_eq!(b, ctx.analyze(m), "{tag}: batch diverged from analyze()");
+                }
+            }
+        }
+    }
+}
+
+/// `DeltaContext::evaluate` must be bit-identical to `analyze` over
+/// thousands of (parent, single-gene edit) pairs — including edit chains
+/// (neighbor of a neighbor) and edits that make the mapping exceed
+/// capacity, which must produce the identical error.
+#[test]
+fn delta_matches_one_shot_bit_for_bit() {
+    for (tag, ctx, space) in configs() {
+        let mut rng = SmallRng::seed_from_u64(0xDE17A);
+        let mut pairs = 0usize;
+        for _ in 0..40 {
+            let parent = space.random(&mut rng);
+            let delta = match DeltaContext::new(&ctx, &parent) {
+                Ok(d) => d,
+                // Strict-capacity parents can be illegal; analyze must
+                // agree, and there is nothing to anchor a delta on.
+                Err(e) => {
+                    assert_eq!(ctx.analyze(&parent).unwrap_err(), e, "{tag}: parent error");
+                    continue;
+                }
+            };
+            let mut edits = Vec::with_capacity(25);
+            let mut cursor = parent.clone();
+            for k in 0..25 {
+                // Mostly one edit from the parent; every fifth neighbor
+                // drifts further so multi-level diffs are covered too.
+                if k % 5 == 0 {
+                    cursor = mutate(&cursor, &mut rng);
+                    edits.push(cursor.clone());
+                } else {
+                    edits.push(mutate(&parent, &mut rng));
+                }
+            }
+            edits.push(parent.clone()); // identity edit: full reuse path
+            for (n, r) in edits.iter().zip(delta.evaluate_neighbors(&edits)) {
+                assert_eq!(r, ctx.analyze(n), "{tag}: delta diverged from analyze()");
+                pairs += 1;
+            }
+        }
+        assert!(pairs >= 1000, "{tag}: only {pairs} delta pairs exercised");
+    }
+}
+
+/// Soundness of the admissible bound: for every legal mapping,
+/// `bound(m).cost` must lower-bound the true cost component-wise, and its
+/// EDP must lower-bound the true EDP. An inadmissible bound would let the
+/// mappers prune the true optimum.
+#[test]
+fn bound_is_admissible() {
+    for (tag, ctx, space) in configs() {
+        let mut rng = SmallRng::seed_from_u64(0xB0C0D);
+        let mut checked = 0usize;
+        for _ in 0..1000 {
+            let m = space.random(&mut rng);
+            let Ok(b) = ctx.analyze(&m) else { continue };
+            let r = ctx.bound(&m).expect("legal mapping must have a bound");
+            assert!(
+                r.cost.latency_cycles <= b.cost.latency_cycles,
+                "{tag}: latency bound {} > true {}",
+                r.cost.latency_cycles,
+                b.cost.latency_cycles
+            );
+            assert!(
+                r.cost.energy_uj <= b.cost.energy_uj,
+                "{tag}: energy bound {} > true {}",
+                r.cost.energy_uj,
+                b.cost.energy_uj
+            );
+            assert!(
+                r.cost.edp() <= b.cost.edp(),
+                "{tag}: EDP bound {} > true {}",
+                r.cost.edp(),
+                b.cost.edp()
+            );
+            checked += 1;
+        }
+        assert!(checked >= 500, "{tag}: only {checked} legal mappings checked");
+    }
+}

@@ -129,7 +129,12 @@ impl Mapper for Exhaustive {
             if levels[pe_level].spatial_product() > arch.fanout_below(pe_level) {
                 fanout_ok = false;
             }
-            if fanout_ok {
+            // Legality is order-independent (orders are valid permutations
+            // by construction; factor products, fanouts, and capacities
+            // depend only on the tiling), so validate the tiling once and
+            // skip all `order_count` variants of a doomed one — instead of
+            // re-running the capacity check per permutation.
+            if fanout_ok && Mapping::new(levels.clone()).validate(p, arch).is_ok() {
                 for oi in 0..order_count {
                     if rec.would_be_done(buf.len()) || emitted >= self.max_candidates {
                         break 'outer;
@@ -143,12 +148,20 @@ impl Mapper for Exhaustive {
                         l.order = order.clone();
                     }
                     let m = Mapping::new(lv);
-                    if m.validate(p, arch).is_ok() {
-                        buf.push(m);
+                    {
                         emitted += 1;
-                        if buf.len() >= 64 {
-                            rec.evaluate_batch(&buf);
-                            buf.clear();
+                        // Bound-prune against the incumbent: a candidate
+                        // whose admissible lower bound already exceeds the
+                        // best score cannot be the optimum; it consumes its
+                        // sample (keeping the budget walk identical) without
+                        // a cost-model call.
+                        let incumbent = rec.best_score();
+                        if !rec.try_prune(&m, incumbent) {
+                            buf.push(m);
+                            if buf.len() >= 64 {
+                                rec.evaluate_batch(&buf);
+                                buf.clear();
+                            }
                         }
                     }
                 }

@@ -221,6 +221,49 @@ impl Gamma {
             .collect()
     }
 
+    /// Evaluates one generation of children with admissible-bound pruning.
+    ///
+    /// A child whose lower bound strictly exceeds `threshold` (the worst
+    /// current elite's score under scalar selection) could never rank
+    /// among the elites at the next truncation — its true score is
+    /// provably worse than every survivor's — so skipping its evaluation
+    /// cannot change the incumbent, the best score, or any later
+    /// generation. Pruned children still consume a sample
+    /// ([`Recorder::try_prune`]) and enter the population with an
+    /// infinite score, exactly where their true score would have ranked
+    /// them: past the truncation cut.
+    fn evaluate_children(
+        &self,
+        children: &[Mapping],
+        threshold: f64,
+        evaluator: &dyn Evaluator,
+        rec: &mut Recorder<'_>,
+    ) -> Vec<Indiv> {
+        let mut pruned = vec![false; children.len()];
+        let mut keep: Vec<Mapping> = Vec::with_capacity(children.len());
+        for (i, m) in children.iter().enumerate() {
+            if rec.try_prune(m, threshold) {
+                pruned[i] = true;
+            } else {
+                keep.push(m.clone());
+            }
+        }
+        let mut outcomes = evaluator.evaluate_batch(&keep).into_iter();
+        children
+            .iter()
+            .zip(pruned)
+            .map(|(m, was_pruned)| {
+                if was_pruned {
+                    return Indiv { mapping: m.clone(), score: f64::INFINITY, cost: None };
+                }
+                let out = outcomes.next().expect("one outcome per surviving child");
+                let cost = out.as_ref().map(|(c, _)| *c);
+                let score = rec.record_outcome(m, out).unwrap_or(f64::INFINITY);
+                Indiv { mapping: m.clone(), score, cost }
+            })
+            .collect()
+    }
+
     /// Sorts the population best-first under the configured selection.
     fn rank(&self, pop: &mut Vec<Indiv>) {
         match self.config.selection {
@@ -289,6 +332,14 @@ impl Mapper for Gamma {
         while !rec.done() {
             self.rank(&mut pop);
             pop.truncate(elite_count);
+            // Bound-pruning threshold: under scalar selection the worst
+            // current elite — anything provably worse can be skipped (see
+            // `evaluate_children`). NSGA-II ranks on full cost vectors, so
+            // pruning is disabled there (infinite threshold).
+            let threshold = match self.config.selection {
+                Selection::Scalar => pop.last().map_or(f64::INFINITY, |e| e.score),
+                Selection::Nsga2 => f64::INFINITY,
+            };
             let mut children = Vec::with_capacity(pop_size - elite_count);
             while children.len() + elite_count < pop_size {
                 children.push(self.make_child(space, &pop, rng));
@@ -299,7 +350,7 @@ impl Mapper for Gamma {
                 None => children.len(),
             };
             children.truncate(remaining.max(1).min(children.len()));
-            let scored = self.evaluate_batch(&children, evaluator, &mut rec);
+            let scored = self.evaluate_children(&children, threshold, evaluator, &mut rec);
             pop.extend(scored);
         }
         rec.finish()

@@ -70,7 +70,15 @@ impl Mapper for HillClimb {
             if !operators::repair(&mut cand, space) {
                 cand = space.random(rng);
             }
-            let score = rec.evaluate(&cand).unwrap_or(f64::INFINITY);
+            // Bound-prune against the current point: a neighbor whose
+            // admissible lower bound exceeds `current_score` would be
+            // rejected anyway (first-improvement acceptance), so skip its
+            // evaluation and take the rejection path directly.
+            let score = if rec.try_prune(&cand, current_score) {
+                f64::INFINITY
+            } else {
+                rec.evaluate(&cand).unwrap_or(f64::INFINITY)
+            };
             if score < current_score {
                 current = cand;
                 current_score = score;

@@ -101,8 +101,14 @@ pub struct SearchResult {
     /// The (latency, energy) Pareto frontier over every evaluated point,
     /// sorted by ascending latency.
     pub pareto: Vec<(Mapping, Cost)>,
-    /// Total cost-model evaluations.
+    /// Total samples consumed (full evaluations plus bound-pruned skips).
     pub evaluated: usize,
+    /// Of `evaluated`, candidates skipped because their admissible lower
+    /// bound already exceeded the incumbent ([`Evaluator::score_bound`]).
+    /// Pruned candidates consume a sample — keeping budgets, and therefore
+    /// search trajectories, bit-identical to a non-pruning run — but never
+    /// touch the cost model.
+    pub pruned: usize,
     /// Total wall-clock time.
     pub elapsed: Duration,
     /// Evaluation-cache counters (all zero when no cache was active).
@@ -125,6 +131,25 @@ pub trait Evaluator: Sync {
     fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
         batch.iter().map(|m| self.evaluate(m)).collect()
     }
+
+    /// Scores neighbors of an already-scored `parent`. Semantically
+    /// identical to [`Evaluator::evaluate_batch`] (and that is the
+    /// default); evaluators backed by the analytical engines override it to
+    /// delta re-evaluate, reusing the unchanged part of the parent's
+    /// loop-nest analysis. Results must stay bit-identical either way.
+    fn evaluate_neighbors(&self, parent: &Mapping, neighbors: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
+        let _ = parent;
+        self.evaluate_batch(neighbors)
+    }
+
+    /// Admissible lower bound on the score of `m` (lower is better): when
+    /// `Some(b)`, the evaluator guarantees `b <= evaluate(m)`'s score, so a
+    /// candidate whose bound exceeds the incumbent can be skipped without
+    /// changing any search result. `None` (the default) disables pruning.
+    fn score_bound(&self, m: &Mapping) -> Option<f64> {
+        let _ = m;
+        None
+    }
 }
 
 /// EDP objective over one cost model — the paper's default criterion.
@@ -144,6 +169,28 @@ impl Evaluator for EdpEvaluator<'_> {
         let cost = self.model.evaluate(m).ok()?;
         Some((cost, cost.edp()))
     }
+
+    fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
+        self.model
+            .evaluate_batch(batch)
+            .into_iter()
+            .map(|r| r.ok().map(|c| (c, c.edp())))
+            .collect()
+    }
+
+    fn evaluate_neighbors(&self, parent: &Mapping, neighbors: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
+        self.model
+            .evaluate_neighbors(parent, neighbors)
+            .into_iter()
+            .map(|r| r.ok().map(|c| (c, c.edp())))
+            .collect()
+    }
+
+    fn score_bound(&self, m: &Mapping) -> Option<f64> {
+        // EDP of the component-wise cost bound: both factors are admissible
+        // and positive, so their product lower-bounds the true EDP.
+        self.model.cost_bound(m).map(|c| c.edp())
+    }
 }
 
 /// Shared run-state used by every mapper implementation: counts samples,
@@ -159,6 +206,7 @@ pub struct Recorder<'a> {
     samples: Vec<(Vec<f64>, f64)>,
     record_samples: bool,
     evaluated: usize,
+    pruned: usize,
 }
 
 impl<'a> Recorder<'a> {
@@ -175,6 +223,7 @@ impl<'a> Recorder<'a> {
             samples: Vec::new(),
             record_samples: false,
             evaluated: 0,
+            pruned: 0,
         }
     }
 
@@ -220,6 +269,39 @@ impl<'a> Recorder<'a> {
     pub fn evaluate_batch(&mut self, batch: &[Mapping]) -> Vec<Option<f64>> {
         let outs = self.evaluator.evaluate_batch(batch);
         batch.iter().zip(outs).map(|(m, out)| self.record_outcome(m, out)).collect()
+    }
+
+    /// Tries to prune `m` against `threshold` using the evaluator's
+    /// admissible score bound. Returns `true` — and consumes one sample,
+    /// exactly like a full evaluation would have — iff the bound *strictly*
+    /// exceeds a finite `threshold`, which proves `score(m) ≥ bound >
+    /// threshold`: the candidate could not have beaten (or even tied) the
+    /// threshold, so skipping its evaluation cannot change the incumbent,
+    /// the best score, or any subsequent budget decision.
+    ///
+    /// Never prunes while sample recording is on: recorded samples feed
+    /// surrogate training and PCA visualization, which need the true cost
+    /// of *every* drawn candidate — skipping dominated ones would bias the
+    /// dataset (and shrink it below the sample budget).
+    pub fn try_prune(&mut self, m: &Mapping, threshold: f64) -> bool {
+        if !threshold.is_finite() || self.record_samples {
+            return false;
+        }
+        match self.evaluator.score_bound(m) {
+            Some(bound) if bound > threshold => {
+                self.record_pruned();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records one bound-pruned candidate: consumes a sample (budgets and
+    /// trajectories stay identical to a run that evaluated it) without
+    /// touching the incumbent, history, Pareto archive, or cost model.
+    pub fn record_pruned(&mut self) {
+        self.evaluated += 1;
+        self.pruned += 1;
     }
 
     /// Records a pre-computed evaluation outcome (used by mappers that
@@ -304,6 +386,11 @@ impl<'a> Recorder<'a> {
         self.evaluated
     }
 
+    /// Number of bound-pruned candidates so far.
+    pub fn pruned(&self) -> usize {
+        self.pruned
+    }
+
     /// Finalizes the run.
     pub fn finish(mut self) -> SearchResult {
         let elapsed = self.start.elapsed();
@@ -319,6 +406,7 @@ impl<'a> Recorder<'a> {
             samples: self.samples,
             pareto: self.pareto,
             evaluated: self.evaluated,
+            pruned: self.pruned,
             elapsed,
             cache: CacheStats::default(),
         }

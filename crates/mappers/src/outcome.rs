@@ -177,6 +177,7 @@ mod tests {
             samples: Vec::new(),
             pareto: Vec::new(),
             evaluated: 0,
+            pruned: 0,
             elapsed: Duration::ZERO,
             cache: crate::mapper::CacheStats::default(),
         }

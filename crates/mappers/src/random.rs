@@ -49,7 +49,17 @@ impl Mapper for RandomMapper {
         while !rec.done() {
             let n = rec.batch_room(EVAL_CHUNK);
             batch.clear();
-            batch.extend((0..n).map(|_| space.random(rng)));
+            for _ in 0..n {
+                let m = space.random(rng);
+                // Bound-prune against the incumbent: a candidate whose
+                // admissible lower bound already exceeds the best score
+                // could not have improved it, so it consumes its sample
+                // without touching the cost model.
+                let incumbent = rec.best_score();
+                if !rec.try_prune(&m, incumbent) {
+                    batch.push(m);
+                }
+            }
             rec.evaluate_batch(&batch);
         }
         rec.finish()
@@ -134,7 +144,11 @@ impl Mapper for RandomPruned {
                     }
                     candidate = canonicalize(&space.random(rng));
                 }
-                batch.push(candidate);
+                // Bound-prune against the incumbent (see `RandomMapper`).
+                let incumbent = rec.best_score();
+                if !rec.try_prune(&candidate, incumbent) {
+                    batch.push(candidate);
+                }
             }
             rec.evaluate_batch(&batch);
         }

@@ -181,17 +181,38 @@ impl Mapper for StandardGa {
         // generation order: legal decodes get their batched result, illegal
         // decodes still consume a sample (the naive GA pays for its
         // constraint-blindness) exactly where the serial loop charged them.
-        let score_batch = |genomes: Vec<Genome>, rec: &mut Recorder<'_>| -> Vec<(Genome, f64)> {
+        // `threshold` additionally bound-prunes legal decodes: a child whose
+        // admissible lower bound strictly exceeds the worst current elite
+        // can neither survive the next truncation nor improve the incumbent
+        // (its true score is provably worse than every elite's), so it
+        // consumes its sample via [`Recorder::try_prune`] and enters the
+        // population with an infinite score — exactly where its true score
+        // would have ranked it.
+        let score_batch = |genomes: Vec<Genome>,
+                           threshold: f64,
+                           rec: &mut Recorder<'_>|
+         -> Vec<(Genome, f64)> {
             let decoded: Vec<Option<Mapping>> =
                 genomes.iter().map(|g| g.decode(space, &divs)).collect();
-            let legal: Vec<Mapping> = decoded.iter().flatten().cloned().collect();
+            let mut pruned = vec![false; decoded.len()];
+            let mut legal: Vec<Mapping> = Vec::with_capacity(decoded.len());
+            for (i, d) in decoded.iter().enumerate() {
+                if let Some(m) = d {
+                    if rec.try_prune(m, threshold) {
+                        pruned[i] = true;
+                    } else {
+                        legal.push(m.clone());
+                    }
+                }
+            }
             let outs = evaluator.evaluate_batch(&legal);
             let mut pending = legal.iter().zip(outs);
             genomes
                 .into_iter()
-                .zip(decoded)
-                .map(|(g, d)| {
+                .zip(decoded.into_iter().zip(pruned))
+                .map(|(g, (d, was_pruned))| {
                     let s = match d {
+                        Some(_) if was_pruned => f64::INFINITY,
                         Some(_) => {
                             let (m, out) = pending.next().expect("one outcome per legal decode");
                             rec.record_outcome(m, out).unwrap_or(f64::INFINITY)
@@ -219,11 +240,12 @@ impl Mapper for StandardGa {
                 g
             })
             .collect();
-        let mut pop: Vec<(Genome, f64)> = score_batch(genomes, &mut rec);
+        let mut pop: Vec<(Genome, f64)> = score_batch(genomes, f64::INFINITY, &mut rec);
 
         while !rec.done() {
             pop.sort_by(|a, b| crate::outcome::score_cmp(a.1, b.1));
             pop.truncate(elite_count);
+            let threshold = pop.last().map_or(f64::INFINITY, |e| e.1);
             // Each child consumes exactly one sample (legal or not), so
             // capping the brood at the remaining sample budget reproduces
             // the serial per-child `rec.done()` check.
@@ -238,7 +260,7 @@ impl Mapper for StandardGa {
                 }
                 children.push(child);
             }
-            pop.extend(score_batch(children, &mut rec));
+            pop.extend(score_batch(children, threshold, &mut rec));
         }
         rec.finish()
     }

@@ -202,6 +202,14 @@ impl Mapping {
     /// temporal loops (in its declared order) followed by its spatial loops.
     pub fn nest(&self) -> Vec<Loop> {
         let mut out = Vec::new();
+        self.nest_into(&mut out);
+        out
+    }
+
+    /// Appends the flattened loop nest to `out` (same order as
+    /// [`Mapping::nest`]). Batch evaluators use this to pack many nests into
+    /// one arena instead of allocating a `Vec` per mapping.
+    pub fn nest_into(&self, out: &mut Vec<Loop>) {
         for (li, l) in self.levels.iter().enumerate() {
             for &dim in &l.order {
                 out.push(Loop { dim, bound: l.temporal[dim], spatial: false, level: li });
@@ -212,7 +220,6 @@ impl Mapping {
                 }
             }
         }
-        out
     }
 
     /// Dense per-tensor footprints (words) of the tiles resident at `level`.
@@ -267,12 +274,14 @@ impl Mapping {
             if l.order.len() != d || l.temporal.len() != d || l.spatial.len() != d {
                 return Err(MappingError::WrongDimCount { level: li });
             }
-            let mut seen = vec![false; d];
+            // Bitmask permutation check: dims are bounded (≤ 64) and this
+            // runs on every evaluation, so avoid a per-call allocation.
+            let mut seen = 0u64;
             for &o in &l.order {
-                if o >= d || seen[o] {
+                if o >= d || seen & (1 << o) != 0 {
                     return Err(MappingError::BadPermutation { level: li });
                 }
-                seen[o] = true;
+                seen |= 1 << o;
             }
         }
         for dim in 0..d {
