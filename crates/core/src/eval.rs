@@ -27,10 +27,9 @@ use costmodel::Cost;
 use mappers::{CacheStats, Evaluator};
 use mapping::Mapping;
 use std::any::Any;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::hash::{Hash, Hasher};
+use std::hash::Hasher;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -354,14 +353,98 @@ impl Evaluator for PoolEvaluator<'_> {
 
 const SHARDS: usize = 16;
 
+/// Multiply-xor step of the streamed canonical hash (fxhash-style: one
+/// rotate, one xor, one multiply per word — an order of magnitude cheaper
+/// than the SipHash rounds `DefaultHasher` pays per word).
+#[inline]
+fn mix(h: &mut u64, v: u64) {
+    *h = (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+}
+
+/// Hash of a mapping's *canonical form* ([`mappers::canonicalize`]: per
+/// level, non-unit temporal dims keep their declared order, unit dims sink
+/// to the end in ascending order), streamed directly off the raw mapping.
+/// Two mappings hash equal iff their canonical forms are equal, without
+/// ever materializing those forms — the allocation-per-probe that made the
+/// cached stack slower than the serial one on low-hit-rate runs.
+fn canonical_hash(m: &Mapping) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for l in m.levels() {
+        for &t in &l.temporal {
+            mix(&mut h, t);
+        }
+        for &s in &l.spatial {
+            mix(&mut h, s);
+        }
+        for &d in l.order.iter().filter(|&&d| l.temporal[d] > 1) {
+            mix(&mut h, d as u64);
+        }
+        for d in (0..l.temporal.len()).filter(|&d| l.temporal[d] <= 1) {
+            mix(&mut h, d as u64);
+        }
+    }
+    h
+}
+
+/// Whether `raw`'s canonical form equals the stored canonical mapping
+/// `canon` — the zero-allocation probe paired with [`canonical_hash`].
+fn canonical_eq(raw: &Mapping, canon: &Mapping) -> bool {
+    let (a, b) = (raw.levels(), canon.levels());
+    if a.len() != b.len() {
+        return false;
+    }
+    for (la, lb) in a.iter().zip(b) {
+        if la.temporal != lb.temporal || la.spatial != lb.spatial {
+            return false;
+        }
+        let mut it = lb.order.iter();
+        let non_unit = la.order.iter().filter(|&&d| la.temporal[d] > 1);
+        let unit = (0..la.temporal.len()).filter(|&d| la.temporal[d] <= 1);
+        for d in non_unit.copied().chain(unit) {
+            if it.next() != Some(&d) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Pass-through hasher for the pre-hashed `u64` bucket keys: the streamed
+/// canonical hash *is* the hash, so the shard map must not SipHash it
+/// again.
+#[derive(Default)]
+struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | b as u64;
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type PassThrough = std::hash::BuildHasherDefault<PassThroughHasher>;
+
 /// A sharded, capacity-bounded memo table over canonical mapping forms.
 ///
-/// The key is [`mappers::canonicalize`]'s output — mappings that differ
-/// only in the placement of unit-bound temporal loops are
-/// cost-equivalent, so they share an entry. Values memoize the *outcome*,
-/// including `None` (illegal / guard-rejected), so a rejected duplicate
-/// costs a lookup rather than a second guarded analysis. Eviction is
-/// per-shard FIFO: crude, but bounded and deterministic.
+/// Keys are canonical-form hashes; each bucket holds the materialized
+/// canonical mappings sharing that hash (collision chains — in practice
+/// length 1) with their memoized outcomes. Probing hashes and compares
+/// against the *raw* mapping with zero allocations; the canonical clone is
+/// materialized once, on insert. Values memoize the *outcome*, including
+/// `None` (illegal / guard-rejected), so a rejected duplicate costs a
+/// lookup rather than a second guarded analysis. Eviction is per-shard
+/// FIFO: crude, but bounded and deterministic (bucket entries are in
+/// insertion order, so popping the oldest hash and dropping its bucket's
+/// head is exact FIFO).
 pub struct EvalCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
@@ -371,10 +454,56 @@ pub struct EvalCache {
     evictions: AtomicU64,
 }
 
+/// A memoized evaluation outcome; `None` records an illegal or
+/// guard-rejected mapping.
+type Outcome = Option<(Cost, f64)>;
+/// One pre-hashed entry for [`EvalCache::insert_batch`].
+type HashedEntry<'a> = (u64, &'a Mapping, Outcome);
+
 #[derive(Default)]
 struct Shard {
-    map: HashMap<Mapping, Option<(Cost, f64)>>,
-    fifo: VecDeque<Mapping>,
+    map: HashMap<u64, Vec<(Mapping, Outcome)>, PassThrough>,
+    fifo: VecDeque<u64>,
+    entries: usize,
+}
+
+impl Shard {
+    fn probe(&self, hash: u64, raw: &Mapping) -> Option<Outcome> {
+        self.map
+            .get(&hash)?
+            .iter()
+            .find(|(k, _)| canonical_eq(raw, k))
+            .map(|(_, v)| *v)
+    }
+
+    /// Returns `(inserted, evictions)`. A re-insert of a resident
+    /// canonical form updates the value in place (no FIFO movement),
+    /// matching the historical `HashMap::insert` semantics.
+    fn insert(&mut self, cap: usize, hash: u64, raw: &Mapping, value: Option<(Cost, f64)>) -> (bool, u64) {
+        let bucket = self.map.entry(hash).or_default();
+        if let Some(e) = bucket.iter_mut().find(|(k, _)| canonical_eq(raw, k)) {
+            e.1 = value;
+            return (false, 0);
+        }
+        bucket.push((mappers::canonicalize(raw), value));
+        self.fifo.push_back(hash);
+        self.entries += 1;
+        let mut evictions = 0u64;
+        while self.entries > cap {
+            let Some(old) = self.fifo.pop_front() else { break };
+            if let Some(b) = self.map.get_mut(&old) {
+                if !b.is_empty() {
+                    b.remove(0);
+                }
+                if b.is_empty() {
+                    self.map.remove(&old);
+                }
+            }
+            self.entries -= 1;
+            evictions += 1;
+        }
+        (true, evictions)
+    }
 }
 
 impl EvalCache {
@@ -397,27 +526,25 @@ impl EvalCache {
         self.per_shard_capacity > 0
     }
 
-    fn shard_index(&self, key: &Mapping) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) % SHARDS
+    fn shard_index(hash: u64) -> usize {
+        // The low bits feed the bucket map; shard on high bits.
+        (hash >> 48) as usize % SHARDS
     }
 
-    fn shard_of(&self, key: &Mapping) -> &Mutex<Shard> {
-        &self.shards[self.shard_index(key)]
-    }
-
-    /// Looks up a canonical key, counting the hit or miss.
-    pub fn lookup(&self, key: &Mapping) -> Option<Option<(Cost, f64)>> {
+    /// Looks up a raw (not canonicalized) mapping, counting the hit or
+    /// miss.
+    pub fn lookup(&self, m: &Mapping) -> Option<Option<(Cost, f64)>> {
         if !self.enabled() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
-        match shard.map.get(key) {
+        let hash = canonical_hash(m);
+        let shard =
+            self.shards[Self::shard_index(hash)].lock().unwrap_or_else(|e| e.into_inner());
+        match shard.probe(hash, m) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(*v)
+                Some(v)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -426,22 +553,22 @@ impl EvalCache {
         }
     }
 
-    /// Inserts an outcome under a canonical key, evicting FIFO beyond
-    /// capacity.
-    pub fn insert(&self, key: Mapping, value: Option<(Cost, f64)>) {
+    /// Inserts an outcome for a raw mapping, evicting FIFO beyond
+    /// capacity. The canonical form is materialized here, once.
+    pub fn insert(&self, m: &Mapping, value: Option<(Cost, f64)>) {
         if !self.enabled() {
             return;
         }
-        let mut shard = self.shard_of(&key).lock().unwrap_or_else(|e| e.into_inner());
-        if shard.map.insert(key.clone(), value).is_none() {
-            shard.fifo.push_back(key);
+        let hash = canonical_hash(m);
+        let mut shard =
+            self.shards[Self::shard_index(hash)].lock().unwrap_or_else(|e| e.into_inner());
+        let (inserted, evictions) = shard.insert(self.per_shard_capacity, hash, m, value);
+        drop(shard);
+        if inserted {
             self.inserts.fetch_add(1, Ordering::Relaxed);
-            while shard.fifo.len() > self.per_shard_capacity {
-                if let Some(old) = shard.fifo.pop_front() {
-                    shard.map.remove(&old);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+        }
+        if evictions > 0 {
+            self.evictions.fetch_add(evictions, Ordering::Relaxed);
         }
     }
 
@@ -452,22 +579,25 @@ impl EvalCache {
         self.misses.fetch_add(n as u64, Ordering::Relaxed);
     }
 
-    /// Probes a whole batch of canonical keys, touching each shard's lock
-    /// at most once (per-item probes pay one lock round-trip per mapping —
+    /// Probes a whole batch of raw mappings, touching each shard's lock at
+    /// most once (per-item probes pay one lock round-trip per mapping —
     /// measurably slower than the evaluations they were meant to save on
     /// cache-friendly random-mapper runs). Hit/miss counters are bumped in
     /// bulk; all probes happen before any caller-side insert, preserving
     /// the per-item path's duplicate-within-batch semantics (both copies
-    /// miss and are both evaluated).
-    pub fn lookup_batch(&self, keys: &[Mapping]) -> Vec<Option<Option<(Cost, f64)>>> {
+    /// miss and are both evaluated). Returns the outcomes alongside each
+    /// mapping's canonical hash so the caller's insert pass need not
+    /// re-hash.
+    pub fn lookup_batch(&self, batch: &[Mapping]) -> (Vec<Option<Outcome>>, Vec<u64>) {
+        let hashes: Vec<u64> = batch.iter().map(canonical_hash).collect();
         if !self.enabled() {
-            self.count_misses(keys.len());
-            return vec![None; keys.len()];
+            self.count_misses(batch.len());
+            return (vec![None; batch.len()], hashes);
         }
-        let mut out: Vec<Option<Option<(Cost, f64)>>> = vec![None; keys.len()];
+        let mut out: Vec<Option<Outcome>> = vec![None; batch.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
-        for (i, key) in keys.iter().enumerate() {
-            by_shard[self.shard_index(key)].push(i);
+        for (i, &h) in hashes.iter().enumerate() {
+            by_shard[Self::shard_index(h)].push(i);
         }
         let mut hits = 0u64;
         for (si, idxs) in by_shard.iter().enumerate() {
@@ -476,27 +606,28 @@ impl EvalCache {
             }
             let shard = self.shards[si].lock().unwrap_or_else(|e| e.into_inner());
             for &i in idxs {
-                if let Some(v) = shard.map.get(&keys[i]) {
-                    out[i] = Some(*v);
+                if let Some(v) = shard.probe(hashes[i], &batch[i]) {
+                    out[i] = Some(v);
                     hits += 1;
                 }
             }
         }
         self.hits.fetch_add(hits, Ordering::Relaxed);
-        self.misses.fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
-        out
+        self.misses.fetch_add(batch.len() as u64 - hits, Ordering::Relaxed);
+        (out, hashes)
     }
 
-    /// Inserts a batch of outcomes, touching each shard's lock at most
-    /// once. Within a shard, entries land in submission order, so the
-    /// per-shard FIFO evicts exactly as the per-item path would.
-    pub fn insert_batch(&self, entries: Vec<(Mapping, Option<(Cost, f64)>)>) {
+    /// Inserts a batch of outcomes (pre-hashed by [`EvalCache::lookup_batch`]),
+    /// touching each shard's lock at most once. Within a shard, entries
+    /// land in submission order, so the per-shard FIFO evicts exactly as
+    /// the per-item path would.
+    pub fn insert_batch(&self, entries: &[HashedEntry]) {
         if !self.enabled() || entries.is_empty() {
             return;
         }
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
-        for (i, (key, _)) in entries.iter().enumerate() {
-            by_shard[self.shard_index(key)].push(i);
+        for (i, &(h, _, _)) in entries.iter().enumerate() {
+            by_shard[Self::shard_index(h)].push(i);
         }
         let mut inserts = 0u64;
         let mut evictions = 0u64;
@@ -506,17 +637,10 @@ impl EvalCache {
             }
             let mut shard = self.shards[si].lock().unwrap_or_else(|e| e.into_inner());
             for &i in idxs {
-                let (key, value) = &entries[i];
-                if shard.map.insert(key.clone(), *value).is_none() {
-                    shard.fifo.push_back(key.clone());
-                    inserts += 1;
-                    while shard.fifo.len() > self.per_shard_capacity {
-                        if let Some(old) = shard.fifo.pop_front() {
-                            shard.map.remove(&old);
-                            evictions += 1;
-                        }
-                    }
-                }
+                let (h, m, value) = entries[i];
+                let (ins, ev) = shard.insert(self.per_shard_capacity, h, m, value);
+                inserts += ins as u64;
+                evictions += ev;
             }
         }
         self.inserts.fetch_add(inserts, Ordering::Relaxed);
@@ -554,26 +678,36 @@ impl<'a> CachedEvaluator<'a> {
 
 impl Evaluator for CachedEvaluator<'_> {
     fn evaluate(&self, m: &Mapping) -> Option<(Cost, f64)> {
-        let key = mappers::canonicalize(m);
-        if let Some(hit) = self.cache.lookup(&key) {
+        if let Some(hit) = self.cache.lookup(m) {
             return hit;
         }
         let out = self.inner.evaluate(m);
-        self.cache.insert(key, out);
+        self.cache.insert(m, out);
         out
     }
 
     fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
-        // A disabled cache can never hit: skip canonicalization entirely
-        // (it used to cost more than the probes it fed, making the
-        // "cached" stack slower than the uncached one for random mappers)
-        // while still accounting every submission as a miss.
+        // A disabled cache can never hit: skip hashing entirely while
+        // still accounting every submission as a miss.
         if !self.cache.enabled() {
             self.cache.count_misses(batch.len());
             return self.inner.evaluate_batch(batch);
         }
-        let keys: Vec<Mapping> = batch.iter().map(mappers::canonicalize).collect();
-        let probed = self.cache.lookup_batch(&keys);
+        let (probed, hashes) = self.cache.lookup_batch(batch);
+        let n_hits = probed.iter().filter(|p| p.is_some()).count();
+        if n_hits == 0 {
+            // The common cold-cache case: forward the caller's slice
+            // untouched — no per-mapping clones, one inner batch.
+            let fresh = self.inner.evaluate_batch(batch);
+            let inserts: Vec<HashedEntry> = hashes
+                .iter()
+                .zip(batch)
+                .zip(&fresh)
+                .map(|((&h, m), &out)| (h, m, out))
+                .collect();
+            self.cache.insert_batch(&inserts);
+            return fresh;
+        }
         let missing: Vec<Mapping> = batch
             .iter()
             .zip(&probed)
@@ -582,19 +716,19 @@ impl Evaluator for CachedEvaluator<'_> {
             .collect();
         let fresh = self.inner.evaluate_batch(&missing);
         let mut fresh_it = fresh.into_iter();
-        let mut inserts: Vec<(Mapping, Option<(Cost, f64)>)> = Vec::with_capacity(missing.len());
+        let mut inserts: Vec<HashedEntry> = Vec::with_capacity(missing.len());
         let mut results: Vec<Option<(Cost, f64)>> = Vec::with_capacity(batch.len());
-        for (key, p) in keys.into_iter().zip(probed) {
+        for ((m, &h), p) in batch.iter().zip(&hashes).zip(probed) {
             match p {
                 Some(hit) => results.push(hit),
                 None => {
                     let out = fresh_it.next().expect("one outcome per miss");
-                    inserts.push((key, out));
+                    inserts.push((h, m, out));
                     results.push(out);
                 }
             }
         }
-        self.cache.insert_batch(inserts);
+        self.cache.insert_batch(&inserts);
         results
     }
 
@@ -712,9 +846,46 @@ mod tests {
         let s = cache.stats();
         assert!(s.evictions > 0, "no evictions despite tiny capacity");
         let live: usize = (0..SHARDS)
-            .map(|i| cache.shards[i].lock().unwrap().map.len())
+            .map(|i| cache.shards[i].lock().unwrap().entries)
             .sum();
         assert!(live <= SHARDS * 2, "cache exceeded its bound: {live}");
+        // The entry counter agrees with the buckets' actual contents.
+        let bucketed: usize = (0..SHARDS)
+            .map(|i| {
+                let sh = cache.shards[i].lock().unwrap();
+                sh.map.values().map(Vec::len).sum::<usize>()
+            })
+            .sum();
+        assert_eq!(live, bucketed);
+    }
+
+    #[test]
+    fn unit_loop_permutations_share_an_entry() {
+        let (space, model) = setup();
+        let eval = EdpEvaluator::new(&model);
+        let cache = EvalCache::new(1 << 12);
+        let cached = CachedEvaluator::new(&cache, &eval);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = space.random(&mut rng);
+        // Shuffle unit-bound temporal loops to the front of a level's
+        // order: cost-equivalent, canonically identical.
+        let mut variant = m.clone();
+        for l in variant.levels_mut() {
+            let (mut unit, mut non_unit): (Vec<usize>, Vec<usize>) =
+                l.order.iter().partition(|&&d| l.temporal[d] <= 1);
+            unit.reverse();
+            unit.append(&mut non_unit);
+            l.order = unit;
+        }
+        let a = cached.evaluate(&m);
+        let b = cached.evaluate(&variant);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "variant should hit the first entry");
+        assert_eq!(s.hits, 1);
+        assert_eq!(
+            a.map(|(c, s)| (c.latency_cycles.to_bits(), c.energy_uj.to_bits(), s.to_bits())),
+            b.map(|(c, s)| (c.latency_cycles.to_bits(), c.energy_uj.to_bits(), s.to_bits()))
+        );
     }
 
     #[test]

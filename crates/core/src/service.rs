@@ -60,7 +60,7 @@ use costmodel::{
     CostModel, DenseModel, GuardAudit, GuardConfig, GuardPolicy, GuardedModel, SparseModel,
 };
 use mappers::{
-    score_cmp, Budget, CrossEntropy, EdpEvaluator, Exhaustive, Gamma, HillClimb, Mapper,
+    score_cmp, Budget, CrossEntropy, Dosa, EdpEvaluator, Exhaustive, Gamma, HillClimb, Mapper,
     RandomMapper, RandomPruned, Reinforce, RunError, RunStatus, SimulatedAnnealing, StandardGa,
 };
 use mapping::Mapping;
@@ -1292,6 +1292,7 @@ fn mapper_by_name(name: &str, fault_injection: bool) -> Option<Box<dyn Mapper>> 
         "annealing" => Box::new(SimulatedAnnealing::new()),
         "hill-climb" => Box::new(HillClimb::new()),
         "cem" => Box::new(CrossEntropy::new()),
+        "dosa" => Box::new(Dosa::new()),
         "reinforce" => Box::new(Reinforce::new()),
         "exhaustive" => Box::new(Exhaustive::new()),
         "panic-injector" if fault_injection => Box::new(PanicInjector),

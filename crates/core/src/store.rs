@@ -27,7 +27,7 @@
 //!
 //! On top of the log sits a small UCB bandit ([`WarmStore::select_mapper`]):
 //! for requests that ask for mapper `auto`, the coordinator picks among
-//! gamma / CEM / annealing based on the observed reward of deposited results
+//! gamma / CEM / annealing / dosa based on the observed reward of deposited results
 //! for similar problems. Ties break on fixed arm order and recalls break on
 //! newest-record-wins — no wall clock, no RNG — so fleet byte-identity is
 //! preserved: the arm and the seed are resolved once, coordinator-side, and
@@ -57,7 +57,7 @@ const TOTAL_CAP: usize = 768;
 
 /// Arms of the mapper bandit, in fixed tie-break order. Index 0 is the
 /// fallback when the store is absent, empty, or has no similar entries.
-pub const BANDIT_ARMS: [&str; 3] = ["gamma", "cem", "annealing"];
+pub const BANDIT_ARMS: [&str; 4] = ["gamma", "cem", "annealing", "dosa"];
 
 /// Only priors within this edit distance feed the bandit's reward estimate;
 /// recall itself has no radius (the caller sees the distance and the guard
@@ -798,6 +798,8 @@ mod tests {
         store.deposit(fp, &p, &m, "cem", 40.0, 100).unwrap();
         assert_eq!(store.select_mapper(&p, fp), "annealing");
         store.deposit(fp, &p, &m, "annealing", 40.0, 100).unwrap();
+        assert_eq!(store.select_mapper(&p, fp), "dosa");
+        store.deposit(fp, &p, &m, "dosa", 40.0, 100).unwrap();
         // All arms tried once; gamma holds the best score (reward 1.0) and
         // identical exploration bonuses, so UCB exploits gamma.
         assert_eq!(store.select_mapper(&p, fp), "gamma");

@@ -189,22 +189,22 @@ pub struct AnalysisContext {
     caps: SparseCaps,
     capacity: CapacityMode,
     /// Dense MAC count.
-    macs: f64,
+    pub(crate) macs: f64,
     /// Probability a MAC has both operands nonzero.
-    occupancy: f64,
+    pub(crate) occupancy: f64,
     /// Reduction dims (output-irrelevant), canonical order.
-    reduction_dims: Vec<usize>,
+    pub(crate) reduction_dims: Vec<usize>,
     /// Bit `d` set ⇔ dim `d` is a reduction dim (for style classification).
-    reduction_mask: u64,
+    pub(crate) reduction_mask: u64,
     /// Per-tensor relevance bitmask: bit `d` set ⇔ the tensor depends on
     /// dim `d`.
-    relevance: Vec<u64>,
+    pub(crate) relevance: Vec<u64>,
     /// Per-tensor traffic/footprint scale from compression (outputs get a
     /// per-level scale during analysis).
-    scale: Vec<f64>,
+    pub(crate) scale: Vec<f64>,
     /// Per-tensor *capacity provisioning* scale: worst case over runtime
     /// densities — activations/outputs dense, weights may be compressed.
-    cap_scale: Vec<f64>,
+    pub(crate) cap_scale: Vec<f64>,
     /// The virtual per-ALU register tile (all-unit extents).
     unit_tile: Vec<u64>,
 }

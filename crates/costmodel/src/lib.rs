@@ -30,6 +30,7 @@ mod delta;
 mod engine;
 pub mod fault;
 pub mod guard;
+pub mod smooth;
 pub mod style;
 
 pub use analysis::{analyze, AnalysisContext, BoundReport, Breakdown, CapacityMode, LevelTraffic};
@@ -41,3 +42,4 @@ pub use guard::{
     GuardAudit, GuardConfig, GuardPolicy, GuardReport, GuardedModel, Invariant,
     InvariantViolation,
 };
+pub use smooth::{SmoothContext, SmoothCost};

@@ -1,0 +1,139 @@
+//! Relaxation-consistency suite: at every integer lattice point in a seeded
+//! corpus, the smooth relaxed cost must equal the exact `analyze()` result
+//! within 1e-6 relative — so DOSA's projection never optimizes a different
+//! objective than the exact re-cost reports.
+
+use arch::{Arch, SparseCaps};
+use costmodel::{analyze, CapacityMode, SmoothContext};
+use mapping::MapSpace;
+use problem::{Density, Problem};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const REL_TOL: f64 = 1e-6;
+
+fn rel(x: f64, y: f64) -> f64 {
+    (x - y).abs() / y.abs().max(1e-30)
+}
+
+fn check_corpus(
+    problem: &Problem,
+    arch: &Arch,
+    density: Density,
+    caps: &SparseCaps,
+    capacity: CapacityMode,
+    seed: u64,
+    n: usize,
+) {
+    let sctx = SmoothContext::new(problem, arch, density, caps);
+    let space = MapSpace::new(problem.clone(), arch.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut checked = 0usize;
+    while checked < n {
+        let m = space.random(&mut rng);
+        let Ok(exact) = analyze(problem, arch, &m, density, caps, capacity) else {
+            // Strict sparse corners can reject a mapping the dense-legal
+            // sampler produced; skip — consistency is defined on points the
+            // exact engine accepts.
+            continue;
+        };
+        checked += 1;
+        let feats = mapping::features::features(&m);
+        let sm = sctx.cost(&feats);
+        assert!(
+            rel(sm.latency_cycles, exact.cost.latency_cycles) < REL_TOL,
+            "{} on {}: smooth latency {} vs exact {}",
+            problem.name(),
+            arch.name(),
+            sm.latency_cycles,
+            exact.cost.latency_cycles
+        );
+        assert!(
+            rel(sm.energy_uj, exact.cost.energy_uj) < REL_TOL,
+            "{} on {}: smooth energy {} vs exact {}",
+            problem.name(),
+            arch.name(),
+            sm.energy_uj,
+            exact.cost.energy_uj
+        );
+        assert!(
+            rel(sm.edp(), exact.cost.edp()) < 4.0 * REL_TOL,
+            "{} on {}: smooth EDP {} vs exact {}",
+            problem.name(),
+            arch.name(),
+            sm.edp(),
+            exact.cost.edp()
+        );
+    }
+}
+
+fn problems() -> Vec<Problem> {
+    vec![
+        problem::zoo::resnet_conv4(),
+        problem::zoo::bert_kqv(),
+        Problem::gemm("Tiny GEMM", 2, 32, 32, 32),
+        Problem::conv2d("small conv", 2, 8, 8, 7, 7, 3, 3),
+    ]
+}
+
+#[test]
+fn smooth_equals_exact_dense_both_presets() {
+    for arch in [Arch::accel_a(), Arch::accel_b()] {
+        for (pi, p) in problems().iter().enumerate() {
+            check_corpus(
+                p,
+                &arch,
+                Density::DENSE,
+                &SparseCaps::none(),
+                CapacityMode::Strict,
+                100 + pi as u64,
+                30,
+            );
+        }
+    }
+}
+
+#[test]
+fn smooth_equals_exact_sparse_both_presets() {
+    let configs = [
+        (Density::weight_sparse(0.3), SparseCaps::flexible()),
+        (Density::weight_sparse(0.05), SparseCaps::gating_only()),
+    ];
+    for arch in [Arch::accel_a(), Arch::accel_b()] {
+        for (pi, p) in problems().iter().enumerate() {
+            for (ci, (density, caps)) in configs.iter().enumerate() {
+                check_corpus(
+                    p,
+                    &arch,
+                    *density,
+                    caps,
+                    CapacityMode::Soft,
+                    500 + 10 * pi as u64 + ci as u64,
+                    20,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn smooth_is_finite_off_lattice() {
+    // Between lattice points the relaxation must stay finite and positive —
+    // otherwise descent steps can NaN-poison the search.
+    let p = problem::zoo::resnet_conv4();
+    let a = Arch::accel_b();
+    let sctx = SmoothContext::dense(&p, &a);
+    let space = MapSpace::new(p.clone(), a.clone());
+    let mut rng = SmallRng::seed_from_u64(9);
+    for k in 0..20 {
+        let m = space.random(&mut rng);
+        let mut feats = mapping::features::features(&m);
+        for (i, f) in feats.iter_mut().enumerate() {
+            *f += 0.31 * ((i + k) % 3) as f64 - 0.17;
+        }
+        let (sm, g) = sctx.cost_and_grad(&feats);
+        assert!(sm.latency_cycles.is_finite() && sm.latency_cycles > 0.0);
+        assert!(sm.energy_uj.is_finite() && sm.energy_uj > 0.0);
+        assert!(g.iter().all(|x| x.is_finite()));
+    }
+}

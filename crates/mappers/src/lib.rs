@@ -33,6 +33,7 @@
 
 mod annealing;
 mod cem;
+mod dosa;
 mod exhaustive;
 mod gamma;
 mod hill_climb;
@@ -46,6 +47,7 @@ mod standard_ga;
 
 pub use annealing::SimulatedAnnealing;
 pub use cem::CrossEntropy;
+pub use dosa::{Dosa, DosaConfig};
 pub use exhaustive::{Exhaustive, OrderEnumeration};
 pub use gamma::{Gamma, GammaConfig};
 pub use hill_climb::HillClimb;

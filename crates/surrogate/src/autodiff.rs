@@ -1,0 +1,101 @@
+//! Shared hand-written autodiff utilities: the Adam optimizer state used by
+//! the MLP layers and a central finite-difference gradient checker used by
+//! both the surrogate's own tests and the smooth-relaxation gradient suite.
+
+/// First/second-moment Adam accumulators for one parameter block.
+///
+/// Factored out of the MLP's `Dense` layer so every hand-written gradient
+/// consumer (network training, relaxed-cost descent experiments) shares one
+/// bias-corrected update rule instead of re-deriving it.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl AdamState {
+    const B1: f64 = 0.9;
+    const B2: f64 = 0.999;
+    const EPS: f64 = 1e-8;
+
+    /// Zeroed state for `n` parameters.
+    pub fn new(n: usize) -> Self {
+        AdamState { m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Number of tracked parameters.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Whether the state tracks no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+
+    /// One bias-corrected Adam update at optimizer step `t` (1-based).
+    /// `grads` are raw accumulated gradients; `batch` divides them first
+    /// (mean over the minibatch), matching the historical MLP semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` / `grads` length differs from the state.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64, t: usize, batch: f64) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        let bc1 = 1.0 - Self::B1.powi(t as i32);
+        let bc2 = 1.0 - Self::B2.powi(t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] / batch;
+            self.m[i] = Self::B1 * self.m[i] + (1.0 - Self::B1) * g;
+            self.v[i] = Self::B2 * self.v[i] + (1.0 - Self::B2) * g * g;
+            params[i] -= lr * (self.m[i] / bc1) / ((self.v[i] / bc2).sqrt() + Self::EPS);
+        }
+    }
+}
+
+/// Central finite-difference gradient of `f` at `x`: the reference every
+/// reverse-mode implementation in this workspace is checked against.
+pub fn finite_difference_gradient<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x: &[f64],
+    eps: f64,
+) -> Vec<f64> {
+    let mut g = Vec::with_capacity(x.len());
+    let mut probe = x.to_vec();
+    for i in 0..x.len() {
+        probe[i] = x[i] + eps;
+        let up = f(&probe);
+        probe[i] = x[i] - eps;
+        let dn = f(&probe);
+        probe[i] = x[i];
+        g.push((up - dn) / (2.0 * eps));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_gradient_of_quadratic() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+        let g = finite_difference_gradient(f, &[2.0, 5.0], 1e-6);
+        assert!((g[0] - 4.0).abs() < 1e-6);
+        assert!((g[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_descends_a_convex_bowl() {
+        let mut p = vec![4.0, -3.0];
+        let mut st = AdamState::new(2);
+        assert_eq!(st.len(), 2);
+        assert!(!st.is_empty());
+        for t in 1..=500 {
+            let g: Vec<f64> = p.iter().map(|v| 2.0 * v).collect();
+            st.step(&mut p, &g, 0.05, t, 1.0);
+        }
+        assert!(p.iter().all(|v| v.abs() < 1e-2), "{p:?}");
+    }
+}

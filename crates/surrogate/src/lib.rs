@@ -28,10 +28,12 @@
 //!     .search(&space, &EdpEvaluator::new(&model), Budget::samples(5_000), &mut rng);
 //! ```
 
+pub mod autodiff;
 mod mind_mappings;
 mod model;
 mod nn;
 
+pub use autodiff::{finite_difference_gradient, AdamState};
 pub use mind_mappings::{MindMappings, MindMappingsConfig};
 pub use model::{Surrogate, TrainConfig, TrainReport};
 pub use nn::Mlp;

@@ -3,6 +3,7 @@
 //! surrogate (§4.3: "trains a neural-network-based surrogate model ... uses
 //! the loss gradient to update its solution").
 
+use crate::autodiff::AdamState;
 use rand::Rng;
 
 /// One fully connected layer with its Adam state.
@@ -15,10 +16,8 @@ struct Dense {
     b: Vec<f64>,
     gw: Vec<f64>,
     gb: Vec<f64>,
-    mw: Vec<f64>,
-    vw: Vec<f64>,
-    mb: Vec<f64>,
-    vb: Vec<f64>,
+    adam_w: AdamState,
+    adam_b: AdamState,
 }
 
 impl Dense {
@@ -33,10 +32,8 @@ impl Dense {
             b: vec![0.0; outputs],
             gw: vec![0.0; inputs * outputs],
             gb: vec![0.0; outputs],
-            mw: vec![0.0; inputs * outputs],
-            vw: vec![0.0; inputs * outputs],
-            mb: vec![0.0; outputs],
-            vb: vec![0.0; outputs],
+            adam_w: AdamState::new(inputs * outputs),
+            adam_b: AdamState::new(outputs),
         }
     }
 
@@ -85,23 +82,8 @@ impl Dense {
     }
 
     fn adam_step(&mut self, lr: f64, t: usize, batch: f64) {
-        const B1: f64 = 0.9;
-        const B2: f64 = 0.999;
-        const EPS: f64 = 1e-8;
-        let bc1 = 1.0 - B1.powi(t as i32);
-        let bc2 = 1.0 - B2.powi(t as i32);
-        for i in 0..self.w.len() {
-            let g = self.gw[i] / batch;
-            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * g;
-            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * g * g;
-            self.w[i] -= lr * (self.mw[i] / bc1) / ((self.vw[i] / bc2).sqrt() + EPS);
-        }
-        for i in 0..self.b.len() {
-            let g = self.gb[i] / batch;
-            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * g;
-            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * g * g;
-            self.b[i] -= lr * (self.mb[i] / bc1) / ((self.vb[i] / bc2).sqrt() + EPS);
-        }
+        self.adam_w.step(&mut self.w, &self.gw, lr, t, batch);
+        self.adam_b.step(&mut self.b, &self.gb, lr, t, batch);
     }
 }
 

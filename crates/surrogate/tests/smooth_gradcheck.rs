@@ -1,0 +1,89 @@
+//! Gradient-check property suite for the smooth relaxation in
+//! `costmodel::smooth`: reverse-mode gradients of `ln EDP` must agree with
+//! central finite differences across seeded random legal points, on both
+//! architecture presets, dense and sparse.
+//!
+//! Legal mappings sit on the integer lattice, where every relaxation gate
+//! (smoothstep non-unit indicators, loop-position gates) is at a flat 0/1
+//! endpoint — so the check exercises exactly the points DOSA projects
+//! through. A second pass nudges the points off-lattice to exercise the
+//! gate interiors.
+
+use arch::{Arch, SparseCaps};
+use costmodel::SmoothContext;
+use mapping::MapSpace;
+use problem::{Density, Problem};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surrogate::finite_difference_gradient;
+
+const EPS: f64 = 1e-6;
+
+fn check_points(sctx: &SmoothContext, space: &MapSpace, seed: u64, n: usize, nudge: bool) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for k in 0..n {
+        let m = space.random(&mut rng);
+        let mut feats = mapping::features::features(&m);
+        if nudge {
+            for (i, f) in feats.iter_mut().enumerate() {
+                *f += 0.05 + 0.021 * ((i + k) % 7) as f64;
+            }
+        }
+        let (_, analytic) = sctx.cost_and_grad(&feats);
+        let f = |x: &[f64]| sctx.cost(x).edp().ln();
+        let central = finite_difference_gradient(f, &feats, EPS);
+        let mid = f(&feats);
+        for i in 0..feats.len() {
+            // The relaxation is piecewise smooth: at a kink (e.g. the
+            // roofline max or the soft-spill hinge landing exactly on a
+            // lattice point) the reverse-mode subgradient must match one of
+            // the one-sided derivatives, while the central difference
+            // averages the two branches. Accept central (tight tolerance)
+            // or either one-sided slope (O(eps) truncation tolerance).
+            let mut probe = feats.clone();
+            probe[i] = feats[i] + EPS;
+            let fwd = (f(&probe) - mid) / EPS;
+            probe[i] = feats[i] - EPS;
+            let bwd = (mid - f(&probe)) / EPS;
+            let ok = [(central[i], 1e-4), (fwd, 5e-4), (bwd, 5e-4)]
+                .iter()
+                .any(|&(n, tol)| (analytic[i] - n).abs() < tol * (1.0 + n.abs()));
+            assert!(
+                ok,
+                "{} point {k} feature {i}: reverse-mode {} vs central {} fwd {fwd} bwd {bwd}",
+                sctx.problem().name(),
+                analytic[i],
+                central[i]
+            );
+        }
+    }
+}
+
+fn cases() -> Vec<(Problem, Arch, Density, SparseCaps)> {
+    let mut out = Vec::new();
+    for arch in [Arch::accel_a(), Arch::accel_b()] {
+        for p in [problem::zoo::resnet_conv4(), Problem::gemm("Tiny GEMM", 2, 32, 32, 32)] {
+            out.push((p.clone(), arch.clone(), Density::DENSE, SparseCaps::none()));
+            out.push((p, arch.clone(), Density::weight_sparse(0.3), SparseCaps::flexible()));
+        }
+    }
+    out
+}
+
+#[test]
+fn reverse_mode_matches_finite_difference_on_lattice() {
+    for (i, (p, a, density, caps)) in cases().into_iter().enumerate() {
+        let sctx = SmoothContext::new(&p, &a, density, &caps);
+        let space = MapSpace::new(p, a);
+        check_points(&sctx, &space, 40 + i as u64, 6, false);
+    }
+}
+
+#[test]
+fn reverse_mode_matches_finite_difference_off_lattice() {
+    for (i, (p, a, density, caps)) in cases().into_iter().enumerate() {
+        let sctx = SmoothContext::new(&p, &a, density, &caps);
+        let space = MapSpace::new(p, a);
+        check_points(&sctx, &space, 70 + i as u64, 6, true);
+    }
+}
