@@ -44,6 +44,9 @@ commands:
             response line
   store     inspect or maintain a warm-start store file:
             stats | compact | verify (verify exits nonzero on damage)
+  chaos     run seeded fault-injection campaigns against the store /
+            serve / fleet stacks and check invariant oracles; failures
+            are shrunk to a minimal JSON reproducer (exit 3)
   bench-throughput
             measure evaluation throughput (serial vs parallel vs cached)
             and write BENCH_throughput.json
@@ -133,8 +136,23 @@ serve/request options:
                          for the `store` command
   --max-retries N        request: retry transient failures — overloaded /
                          draining responses, connect errors, empty replies —
-                         with capped jittered exponential backoff honoring
-                         the daemon's retry_after_ms hint (default 0)
+                         with decorrelated-jitter backoff honoring the
+                         daemon's retry_after_ms hint as a floor (default 0)
+  --retry-budget-ms N    request: cumulative cap on time spent sleeping
+                         between retries; once spent, the next transient
+                         failure is final (default 0 = no cap)
+
+chaos options:
+  --seed N               chaos: campaign seed; same seed → same fault
+                         plans, same oracle verdicts, same digest (default 1)
+  --campaign N           chaos: number of seeded fault plans to run
+                         (default 200)
+  --scenario NAME        chaos: store | serve | fleet; default is a
+                         deterministic store-heavy mix of all three
+  --out FILE             chaos: write the shrunk reproducer JSON here on
+                         failure (default: print to stderr)
+  --replay FILE          chaos: re-run one fault plan from a reproducer
+                         JSON file instead of a seeded campaign
 
 exit codes:
   0  success
@@ -187,6 +205,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args),
         Some("request") => cmd_request(&args),
         Some("store") => cmd_store(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("bench-throughput") => cmd_bench_throughput(&args),
         Some("bench-quality") => cmd_bench_quality(&args),
         _ => {
@@ -1095,6 +1114,76 @@ fn cmd_store(args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// `mapex chaos`: seeded fault-injection campaigns with invariant oracles.
+/// Deterministic per seed — same seed, same fault plans, same verdicts,
+/// same digest. On a failing plan the fault events are ddmin-shrunk to a
+/// minimal reproducer, serialized as JSON (to `--out` or stderr), and the
+/// process exits 3; `--replay FILE` re-runs such a reproducer.
+fn cmd_chaos(args: &Args) -> Result<(), CliError> {
+    let bug = if args.flag("inject-accounting-bug") {
+        mse::Bug::ClaimFailedDeposit
+    } else {
+        mse::Bug::None
+    };
+    if let Some(file) = args.get("replay") {
+        let text = std::fs::read_to_string(file).map_err(|e| input(format!("{file}: {e}")))?;
+        let plan = mse::FaultPlan::from_json(&text).map_err(|e| input(format!("{file}: {e}")))?;
+        println!("replaying {} plan seed {} ({} events)", plan.scenario.name(), plan.seed,
+            plan.events.len());
+        let failures = mse::Harness::new(bug).run_plan(&plan);
+        if failures.is_empty() {
+            println!("PASS: all oracles held");
+            return Ok(());
+        }
+        for f in &failures {
+            eprintln!("oracle violation: {f}");
+        }
+        return Err(CliError::NoResult(format!("{} oracle violation(s)", failures.len())));
+    }
+    let seed: u64 = args.get_num("seed", 1).map_err(input)?;
+    let count: usize = args.get_num("campaign", 200).map_err(input)?;
+    let scenario = match args.get("scenario") {
+        None => None,
+        Some(s) => Some(
+            mse::Scenario::from_name(s)
+                .ok_or_else(|| input(format!("unknown scenario `{s}` (store | serve | fleet)")))?,
+        ),
+    };
+    let campaign = mse::Campaign { seed, count, scenario, bug };
+    let mut harness = mse::Harness::new(bug);
+    let started = std::time::Instant::now();
+    let report = harness.run_campaign(&campaign, &mut |line| eprintln!("{line}"));
+    println!(
+        "campaign seed {seed}: {}/{} plans passed in {:.1}s (digest {:016x})",
+        report.passed,
+        report.count,
+        started.elapsed().as_secs_f64(),
+        report.digest
+    );
+    let Some(first) = report.failures.first() else {
+        return Ok(());
+    };
+    eprintln!(
+        "shrinking plan {} ({} events) to a minimal reproducer…",
+        first.index,
+        first.plan.events.len()
+    );
+    let minimal = harness.shrink(&first.plan);
+    let json = minimal.to_json();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).map_err(|e| input(format!("{path}: {e}")))?;
+            eprintln!("reproducer ({} events) written to {path}", minimal.events.len());
+        }
+        None => eprintln!("reproducer ({} events): {json}", minimal.events.len()),
+    }
+    Err(CliError::NoResult(format!(
+        "{} of {} plans violated an oracle; replay with `mapex chaos --replay <file>`",
+        report.failures.len(),
+        report.count
+    )))
+}
+
 /// `mapex request`: sends one JSON request line to a running daemon and
 /// prints the response line. The request body is the first positional
 /// argument, or stdin when it is `-` or absent. Exits 0 whenever a
@@ -1127,21 +1216,37 @@ fn cmd_request(args: &Args) -> Result<(), CliError> {
     if body.is_empty() || body.contains('\n') {
         return Err(input("request body must be exactly one nonempty JSON line"));
     }
+    let retry_budget_ms: u64 = args.get_num("retry-budget-ms", 0).map_err(input)?;
     let mut attempt: u32 = 0;
+    let mut prev_delay_ms: u64 = 0;
+    let mut slept_ms: u64 = 0;
+    // A retry is allowed while attempts remain AND the next sleep fits in
+    // the retry budget (0 = unbounded); `plan_retry` returns the sleep.
+    let plan_retry = |attempt: u32, prev: u64, slept: u64, hint: Option<u64>| -> Option<u64> {
+        if attempt >= max_retries {
+            return None;
+        }
+        let delay = backoff_delay_ms(prev, hint);
+        if retry_budget_ms > 0 && slept.saturating_add(delay) > retry_budget_ms {
+            eprintln!("retry budget ({retry_budget_ms}ms) exhausted after {slept}ms; giving up");
+            return None;
+        }
+        Some(delay)
+    };
     loop {
-        let retriable = attempt < max_retries;
         match request_once(addr, body, timeout) {
             Ok(line) => {
-                if retriable {
-                    if let Some(hint) = transient_retry_hint(&line) {
-                        let delay = backoff_delay(attempt, hint);
+                if let Some(hint) = transient_retry_hint(&line) {
+                    if let Some(delay) = plan_retry(attempt, prev_delay_ms, slept_ms, hint) {
                         eprintln!(
                             "transient response (attempt {}/{}); retrying in {}ms",
                             attempt + 1,
                             max_retries + 1,
-                            delay.as_millis()
+                            delay
                         );
-                        std::thread::sleep(delay);
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                        slept_ms += delay;
+                        prev_delay_ms = delay;
                         attempt += 1;
                         continue;
                     }
@@ -1149,19 +1254,22 @@ fn cmd_request(args: &Args) -> Result<(), CliError> {
                 println!("{line}");
                 return Ok(());
             }
-            Err(e) if retriable => {
-                let delay = backoff_delay(attempt, None);
+            Err(e) => {
+                let Some(delay) = plan_retry(attempt, prev_delay_ms, slept_ms, None) else {
+                    return Err(e);
+                };
                 eprintln!(
                     "request failed: {} (attempt {}/{}); retrying in {}ms",
                     e.message(),
                     attempt + 1,
                     max_retries + 1,
-                    delay.as_millis()
+                    delay
                 );
-                std::thread::sleep(delay);
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+                slept_ms += delay;
+                prev_delay_ms = delay;
                 attempt += 1;
             }
-            Err(e) => return Err(e),
         }
     }
 }
@@ -1215,23 +1323,26 @@ fn transient_retry_hint(line: &str) -> Option<Option<u64>> {
     }
 }
 
-/// Capped jittered exponential backoff: `max(hint, 100·2^attempt)` ms,
-/// capped at 10s, then jittered into `[0.75×, 1.25×)` so a herd of
-/// retrying clients does not re-stampede the daemon in lockstep.
-fn backoff_delay(attempt: u32, hint: Option<u64>) -> std::time::Duration {
+/// Decorrelated-jitter backoff: `uniform(base, max(base+1, min(cap,
+/// prev·3)))` ms with `cap` = 10s, where `base` is the larger of 100ms and
+/// the daemon's `retry_after_ms` hint — the hint is a *floor*, never
+/// shortened. Unlike lockstep exponential backoff (even jittered around
+/// the same midpoint), successive delays are drawn relative to the
+/// previous *drawn* delay, so a herd of clients rejected together
+/// decorrelates within a round or two instead of re-stampeding.
+fn backoff_delay_ms(prev_ms: u64, hint: Option<u64>) -> u64 {
     use std::hash::{Hash, Hasher};
-    let exp = 100u64.saturating_mul(1 << attempt.min(10));
-    let base = exp.max(hint.unwrap_or(0)).min(10_000);
+    const CAP_MS: u64 = 10_000;
+    let base = hint.unwrap_or(0).max(100);
+    let upper = prev_ms.saturating_mul(3).clamp(base + 1, CAP_MS.max(base + 1));
     let mut h = std::collections::hash_map::DefaultHasher::new();
     std::process::id().hash(&mut h);
-    attempt.hash(&mut h);
+    prev_ms.hash(&mut h);
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.subsec_nanos())
         .hash(&mut h);
-    let r = h.finish() % 1000;
-    let jittered = base * 3 / 4 + base / 2 * r / 1000;
-    std::time::Duration::from_millis(jittered.max(1))
+    base + h.finish() % (upper - base)
 }
 
 fn cmd_zoo() -> Result<(), CliError> {

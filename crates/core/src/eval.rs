@@ -452,7 +452,25 @@ pub struct EvalCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    /// Lookups actually probed (vs bypassed) — the denominator of the
+    /// adaptive pays-for-itself test.
+    probes: AtomicU64,
+    /// Total lookups submitted through the adaptive gate, probed or not;
+    /// positions the recheck windows.
+    gate_position: AtomicU64,
 }
+
+/// Probe unconditionally for the first this many lookups — enough signal
+/// to judge the mapper's revisit rate.
+const ADAPTIVE_WARMUP: u64 = 128;
+/// A probe (hash + shard lock + compare) costs roughly 1/16 of a dense
+/// cost-model evaluation; probing pays while `hits * 16 >= probes`.
+const ADAPTIVE_PAY: u64 = 16;
+/// While bypassing, re-open a probe window this often…
+const ADAPTIVE_SPAN: u64 = 1024;
+/// …for this many lookups, so a mapper that *starts* revisiting late
+/// (e.g. an annealer converging) can win the cache back.
+const ADAPTIVE_RECHECK: u64 = 128;
 
 /// A memoized evaluation outcome; `None` records an illegal or
 /// guard-rejected mapping.
@@ -518,7 +536,29 @@ impl EvalCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            gate_position: AtomicU64::new(0),
         }
+    }
+
+    /// Adaptive bypass gate: advances the position by `n` lookups and
+    /// decides — once per batch, from its start position — whether probing
+    /// the cache is worth the hashing for a mapper with this observed
+    /// revisit rate. Always probes through the warmup; after that, probes
+    /// while hits pay for probes, otherwise bypasses except for periodic
+    /// recheck windows. Bypassed lookups are still accounted as misses by
+    /// the caller, so `stats()` hit rates stay truthful.
+    fn admit_probe(&self, n: usize) -> bool {
+        let start = self.gate_position.fetch_add(n as u64, Ordering::Relaxed);
+        if start < ADAPTIVE_WARMUP {
+            return true;
+        }
+        let hits = self.hits.load(Ordering::Relaxed);
+        let probes = self.probes.load(Ordering::Relaxed).max(1);
+        if hits.saturating_mul(ADAPTIVE_PAY) >= probes {
+            return true;
+        }
+        start % ADAPTIVE_SPAN < ADAPTIVE_RECHECK
     }
 
     /// Whether lookups can ever hit.
@@ -538,6 +578,7 @@ impl EvalCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        self.probes.fetch_add(1, Ordering::Relaxed);
         let hash = canonical_hash(m);
         let shard =
             self.shards[Self::shard_index(hash)].lock().unwrap_or_else(|e| e.into_inner());
@@ -594,6 +635,7 @@ impl EvalCache {
             self.count_misses(batch.len());
             return (vec![None; batch.len()], hashes);
         }
+        self.probes.fetch_add(batch.len() as u64, Ordering::Relaxed);
         let mut out: Vec<Option<Outcome>> = vec![None; batch.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
         for (i, &h) in hashes.iter().enumerate() {
@@ -678,6 +720,12 @@ impl<'a> CachedEvaluator<'a> {
 
 impl Evaluator for CachedEvaluator<'_> {
     fn evaluate(&self, m: &Mapping) -> Option<(Cost, f64)> {
+        if !self.cache.enabled() || !self.cache.admit_probe(1) {
+            // Bypass: the mapper's revisit rate hasn't paid for probing.
+            // No insert either — the hash is the cost being avoided.
+            self.cache.count_misses(1);
+            return self.inner.evaluate(m);
+        }
         if let Some(hit) = self.cache.lookup(m) {
             return hit;
         }
@@ -687,9 +735,10 @@ impl Evaluator for CachedEvaluator<'_> {
     }
 
     fn evaluate_batch(&self, batch: &[Mapping]) -> Vec<Option<(Cost, f64)>> {
-        // A disabled cache can never hit: skip hashing entirely while
-        // still accounting every submission as a miss.
-        if !self.cache.enabled() {
+        // A disabled cache can never hit — and a bypassed one shouldn't:
+        // skip hashing entirely while still accounting every submission
+        // as a miss.
+        if !self.cache.enabled() || !self.cache.admit_probe(batch.len()) {
             self.cache.count_misses(batch.len());
             return self.inner.evaluate_batch(batch);
         }

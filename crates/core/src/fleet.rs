@@ -543,6 +543,29 @@ pub(crate) struct Fleet {
 /// failures are surfaced so the caller can declare the worker dead.
 fn send_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> std::io::Result<()> {
     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    match crate::chaos::net_send_fault() {
+        Some(crate::chaos::NetFault::Reset) => {
+            let _ = w.shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "chaos: connection reset",
+            ));
+        }
+        Some(crate::chaos::NetFault::Short(n)) => {
+            // Torn frame: the peer sees a line with no terminator and must
+            // treat the connection as dead, not parse the fragment.
+            let cut = n.min(line.len());
+            let _ = w.write_all(&line.as_bytes()[..cut]);
+            let _ = w.flush();
+            let _ = w.shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "chaos: torn frame",
+            ));
+        }
+        Some(crate::chaos::NetFault::Delay(d)) => std::thread::sleep(d),
+        None => {}
+    }
     w.write_all(line.as_bytes())?;
     w.write_all(b"\n")?;
     w.flush()
@@ -958,6 +981,15 @@ impl TimeoutLineReader {
         if let Some(line) = self.take_line() {
             return Polled::Line(line);
         }
+        match crate::chaos::net_recv_fault() {
+            Some(crate::chaos::NetFault::Reset) => {
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                return Polled::Closed;
+            }
+            Some(crate::chaos::NetFault::Delay(d)) => std::thread::sleep(d),
+            // Short reads are the normal case for a line protocol.
+            Some(crate::chaos::NetFault::Short(_)) | None => {}
+        }
         let mut chunk = [0u8; 4096];
         match self.stream.read(&mut chunk) {
             Ok(0) => Polled::Closed,
@@ -1008,6 +1040,10 @@ pub(crate) struct WorkerLink {
     queue: Mutex<VecDeque<ShardSpec>>,
     cv: Condvar,
     busy: AtomicU64,
+    /// True once the first registration succeeded; later successful
+    /// registrations are reconnects.
+    connected_once: AtomicBool,
+    reconnects: AtomicU64,
 }
 
 impl WorkerLink {
@@ -1024,11 +1060,19 @@ impl WorkerLink {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             busy: AtomicU64::new(0),
+            connected_once: AtomicBool::new(false),
+            reconnects: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn connected(&self) -> bool {
         self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Times this link re-established a lost coordinator connection
+    /// (the first successful registration is not counted).
+    pub(crate) fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::SeqCst)
     }
 
     /// Queued or executing shards remain.
@@ -1117,6 +1161,9 @@ impl WorkerLink {
             let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
             *self.writer.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&writer));
             self.connected.store(true, Ordering::SeqCst);
+            if self.connected_once.swap(true, Ordering::SeqCst) {
+                self.reconnects.fetch_add(1, Ordering::SeqCst);
+            }
             backoff = 100;
             let mut heartbeat = Duration::from_millis(self.cfg.heartbeat_ms.max(10));
             let mut reader = TimeoutLineReader::new(stream);
@@ -1182,6 +1229,13 @@ impl WorkerLink {
                     }
                 }
                 if !self.muted.load(Ordering::SeqCst) && last_beat.elapsed() >= heartbeat {
+                    if let Some(stall) = crate::chaos::heartbeat_stall() {
+                        // Stay silent past the due beat — the coordinator
+                        // must expire the lease, not hang on us.
+                        std::thread::sleep(stall);
+                        last_beat = Instant::now();
+                        continue;
+                    }
                     if send_line(&writer, "{\"op\": \"heartbeat\"}").is_err() {
                         break;
                     }

@@ -23,6 +23,7 @@
 //! println!("best EDP: {:.3e} cycles*uJ", result.best_score);
 //! ```
 
+pub mod chaos;
 mod driver;
 pub mod eval;
 pub mod fault;
@@ -34,6 +35,7 @@ pub mod sparsity;
 pub mod store;
 pub mod warmstart;
 
+pub use chaos::{Bug, Campaign, CampaignReport, FaultPlan, Harness, Scenario};
 pub use driver::{convergence_sample, samples_to_reach, Mse};
 pub use eval::{CachedEvaluator, EvalCache, EvalConfig, EvalPool, PoolEvaluator};
 pub use fault::{panic_message, quiet_sentinel_panics, WatchdogEvaluator, WatchdogStop};

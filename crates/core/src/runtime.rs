@@ -46,6 +46,18 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+/// Process-wide count of checkpoint loads that only succeeded via the
+/// `.bak` sibling — each one is a torn or missing primary that the rolling
+/// backup absorbed. Surfaced by `health`/`stats` so operators see
+/// near-miss corruption before it becomes data loss.
+static BAK_RESCUES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total [`SweepCheckpoint::load`] calls rescued by the `.bak` fallback
+/// since process start.
+pub fn checkpoint_bak_rescues() -> u64 {
+    BAK_RESCUES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Knobs of the guarded runner.
 #[derive(Debug, Clone, Copy)]
 pub struct RunPolicy {
@@ -733,17 +745,26 @@ impl SweepCheckpoint {
     /// [`CheckpointError::Corrupt`] when neither parses.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let fall_back = |primary_err: CheckpointError| {
-            match std::fs::read_to_string(Self::backup_path(path)) {
-                Ok(text) => SweepCheckpoint::from_json(&text).map_err(|_| match primary_err {
-                    CheckpointError::Corrupt(msg) => {
-                        CheckpointError::Corrupt(format!("{msg} (backup also unusable)"))
+            match crate::chaos::read_to_string(&Self::backup_path(path)) {
+                Ok(text) => match SweepCheckpoint::from_json(&text) {
+                    Ok(c) => {
+                        // Operators watch this (`stats.bak_rescues`): a
+                        // rescue means the primary was torn or missing and
+                        // only the rolling backup saved the resume.
+                        BAK_RESCUES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        Ok(c)
                     }
-                    other => other,
-                }),
+                    Err(_) => Err(match primary_err {
+                        CheckpointError::Corrupt(msg) => {
+                            CheckpointError::Corrupt(format!("{msg} (backup also unusable)"))
+                        }
+                        other => other,
+                    }),
+                },
                 Err(_) => Err(primary_err),
             }
         };
-        match std::fs::read_to_string(path) {
+        match crate::chaos::read_to_string(path) {
             Ok(text) => match SweepCheckpoint::from_json(&text) {
                 Ok(c) => Ok(c),
                 Err(e @ CheckpointError::Corrupt(_)) => fall_back(e),
@@ -764,20 +785,19 @@ impl SweepCheckpoint {
     ///
     /// [`CheckpointError::Io`] on write, sync, or rename failure.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        use std::io::Write;
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
         {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(self.to_json().as_bytes())?;
+            let mut f = crate::chaos::create(&tmp)?;
+            crate::chaos::write_all(&mut f, self.to_json().as_bytes())?;
             // A rename is only as durable as the data behind it.
-            f.sync_all()?;
+            crate::chaos::sync_all(&f)?;
         }
         if path.exists() {
-            std::fs::rename(path, Self::backup_path(path))?;
+            crate::chaos::rename(path, &Self::backup_path(path))?;
         }
-        std::fs::rename(&tmp, path)?;
+        crate::chaos::rename(&tmp, path)?;
         // Directory entries have their own durability; fsync is
         // best-effort because not every platform lets a directory be
         // opened for syncing.

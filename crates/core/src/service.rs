@@ -684,6 +684,23 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    match crate::chaos::net_send_fault() {
+        Some(crate::chaos::NetFault::Reset) => {
+            // Mid-frame reset: the client sees a dropped connection with no
+            // (or a torn) response and must recover by retrying.
+            let _ = w.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        Some(crate::chaos::NetFault::Short(n)) => {
+            let cut = n.min(line.len());
+            let _ = w.write_all(&line.as_bytes()[..cut]);
+            let _ = w.flush();
+            let _ = w.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        Some(crate::chaos::NetFault::Delay(d)) => std::thread::sleep(d),
+        None => {}
+    }
     // A vanished client is not an error worth anything but moving on.
     let _ = w.write_all(line.as_bytes()).and_then(|()| w.write_all(b"\n"));
     let _ = w.flush();
@@ -702,6 +719,18 @@ enum LineRead {
 /// Reads one `\n`-terminated line without ever buffering more than `max`
 /// bytes — network input must not size our memory.
 fn read_bounded_line(r: &mut BufReader<TcpStream>, max: usize) -> std::io::Result<LineRead> {
+    match crate::chaos::net_recv_fault() {
+        Some(crate::chaos::NetFault::Reset) => {
+            let _ = r.get_ref().shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "chaos: connection reset",
+            ));
+        }
+        Some(crate::chaos::NetFault::Delay(d)) => std::thread::sleep(d),
+        // A short *read* of a line-framed stream is just a later read.
+        Some(crate::chaos::NetFault::Short(_)) | None => {}
+    }
     let mut line = Vec::new();
     loop {
         let buf = match r.fill_buf() {
@@ -2211,8 +2240,22 @@ fn render_health(shared: &Arc<Shared>, id: &str) -> String {
         shared.fleet.as_ref().map_or(0, |f| f.live_workers()),
     );
     if let Some(link) = &shared.worker_link {
-        s.push_str(&format!(", \"coordinator_connected\": {}", link.connected()));
+        s.push_str(&format!(
+            ", \"coordinator_connected\": {}, \"reconnects\": {}",
+            link.connected(),
+            link.reconnects(),
+        ));
     }
+    if let Some(f) = &shared.fleet {
+        s.push_str(&format!(
+            ", \"lease_redispatches\": {}",
+            f.counters.redispatched.load(Ordering::Relaxed)
+        ));
+    }
+    s.push_str(&format!(
+        ", \"checkpoint_bak_rescues\": {}",
+        crate::runtime::checkpoint_bak_rescues()
+    ));
     if let Some(store) = &shared.store {
         s.push_str(&render_store_block(store));
     }
@@ -2225,10 +2268,23 @@ fn render_store_block(store: &WarmStore) -> String {
     let st = store.stats();
     let recalls = st.hits + st.misses;
     let hit_rate = if recalls == 0 { 0.0 } else { st.hits as f64 / recalls as f64 };
+    let last_verify = match &st.last_verify {
+        Some((source, v)) => format!(
+            "{{\"source\": {}, \"valid\": {}, \"quarantined\": {}, \"skipped_future\": {}, \
+             \"bytes\": {}}}",
+            json::escape(source),
+            v.valid,
+            v.quarantined,
+            v.skipped_future,
+            v.bytes,
+        ),
+        None => "null".to_string(),
+    };
     format!(
         ", \"store\": {{\"entries\": {}, \"deposits\": {}, \"hits\": {}, \"misses\": {}, \
          \"hit_rate\": {}, \"quarantined\": {}, \"skipped_future\": {}, \
-         \"last_compaction_reclaimed_bytes\": {}, \"file_bytes\": {}}}",
+         \"last_compaction_reclaimed_bytes\": {}, \"file_bytes\": {}, \"bak_rescues\": {}, \
+         \"last_verify\": {last_verify}}}",
         st.entries,
         st.deposits,
         st.hits,
@@ -2238,6 +2294,7 @@ fn render_store_block(store: &WarmStore) -> String {
         st.skipped_future,
         st.last_compaction_reclaimed,
         st.file_bytes,
+        st.bak_rescues,
     )
 }
 
@@ -2289,6 +2346,17 @@ fn render_stats(shared: &Arc<Shared>, id: &str) -> String {
             f.counters.stale_results.load(Ordering::Relaxed),
         ));
     }
+    if let Some(link) = &shared.worker_link {
+        s.push_str(&format!(
+            ", \"coordinator_connected\": {}, \"reconnects\": {}",
+            link.connected(),
+            link.reconnects(),
+        ));
+    }
+    s.push_str(&format!(
+        ", \"checkpoint_bak_rescues\": {}",
+        crate::runtime::checkpoint_bak_rescues()
+    ));
     if let Some(store) = &shared.store {
         s.push_str(&render_store_block(store));
     }

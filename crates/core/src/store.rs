@@ -33,11 +33,11 @@
 //! preserved: the arm and the seed are resolved once, coordinator-side, and
 //! shipped inside shard payloads.
 
+use crate::chaos;
 use mapping::Mapping;
 use problem::{codec as problem_codec, Density, Problem};
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -102,6 +102,12 @@ pub struct StoreStats {
     pub last_compaction_reclaimed: u64,
     /// Current size of the backing file (0 for in-memory stores).
     pub file_bytes: u64,
+    /// Times a missing primary file was rescued from its `.bak` (crash
+    /// between compaction renames) this process lifetime.
+    pub bak_rescues: u64,
+    /// The most recent integrity outcome and where it came from (`"open"`
+    /// scan or `"compact"` rewrite); `None` for in-memory stores.
+    pub last_verify: Option<(&'static str, VerifyReport)>,
 }
 
 /// Result of an explicit [`WarmStore::compact`].
@@ -134,6 +140,8 @@ struct Inner {
     skipped_future: u64,
     last_compaction_reclaimed: u64,
     file_bytes: u64,
+    bak_rescues: u64,
+    last_verify: Option<(&'static str, VerifyReport)>,
 }
 
 /// Durable warm-start store. Cheap to share behind an `Arc`; all methods take
@@ -154,9 +162,17 @@ impl WarmStore {
         let mut skipped_future = 0u64;
         let mut needs_newline = false;
         let mut file_bytes = 0u64;
+        let mut bak_rescues = 0u64;
+        // Crash rescue: a crash between compaction's two renames leaves no
+        // primary but a complete `.bak`. Promote it so the store always
+        // loads — the `.bak` is at worst one compaction generation stale,
+        // which the append log semantics tolerate.
+        let bak = Self::backup_path(path);
+        if !path.exists() && bak.exists() && chaos::rename(&bak, path).is_ok() {
+            bak_rescues = 1;
+        }
         if path.exists() {
-            let mut raw = Vec::new();
-            File::open(path)?.read_to_end(&mut raw)?;
+            let raw = chaos::read_bytes(path)?;
             file_bytes = raw.len() as u64;
             needs_newline = raw.last().is_some_and(|&b| b != b'\n');
             let text = String::from_utf8_lossy(&raw);
@@ -169,7 +185,16 @@ impl WarmStore {
                 }
             }
         }
-        let file = Some(OpenOptions::new().create(true).append(true).open(path)?);
+        let file = Some(chaos::open_append(path)?);
+        let last_verify = Some((
+            "open",
+            VerifyReport {
+                valid: records.len(),
+                quarantined: quarantined as usize,
+                skipped_future: skipped_future as usize,
+                bytes: file_bytes,
+            },
+        ));
         Ok(WarmStore {
             path: Some(path.to_path_buf()),
             inner: Mutex::new(Inner {
@@ -183,6 +208,8 @@ impl WarmStore {
                 skipped_future,
                 last_compaction_reclaimed: 0,
                 file_bytes,
+                bak_rescues,
+                last_verify,
             }),
         })
     }
@@ -203,6 +230,8 @@ impl WarmStore {
                 skipped_future: 0,
                 last_compaction_reclaimed: 0,
                 file_bytes: 0,
+                bak_rescues: 0,
+                last_verify: None,
             }),
         }
     }
@@ -247,6 +276,19 @@ impl WarmStore {
         };
         let line = render_record(&rec);
         let mut inner = self.lock();
+        // Self-heal: a failed compaction drops the append handle (the old
+        // inode was renamed away — writing through it would be silently
+        // non-durable). Reopen on the current path, rescuing a `.bak`
+        // orphan first, or fail the deposit honestly.
+        if inner.file.is_none() {
+            if let Some(path) = &self.path {
+                let bak = Self::backup_path(path);
+                if !path.exists() && bak.exists() && chaos::rename(&bak, path).is_ok() {
+                    inner.bak_rescues += 1;
+                }
+                inner.file = Some(chaos::open_append(path)?);
+            }
+        }
         let needs_newline = inner.needs_newline;
         if let Some(f) = inner.file.as_mut() {
             let mut buf = Vec::with_capacity(line.len() + 2);
@@ -255,8 +297,15 @@ impl WarmStore {
             }
             buf.extend_from_slice(line.as_bytes());
             buf.push(b'\n');
-            f.write_all(&buf)?;
-            f.sync_all()?;
+            let wrote = chaos::write_all(f, &buf);
+            let synced = wrote.and_then(|()| chaos::sync_all(f));
+            if let Err(e) = synced {
+                // The append may have torn mid-line; make the next append
+                // start a fresh line so the damage stays confined to this
+                // one record (a spurious blank line is harmless).
+                inner.needs_newline = true;
+                return Err(e);
+            }
             inner.needs_newline = false;
             inner.file_bytes += buf.len() as u64;
         }
@@ -427,15 +476,25 @@ impl WarmStore {
             }
             let tmp = sibling(path, ".tmp");
             {
-                let mut f = File::create(&tmp)?;
-                f.write_all(body.as_bytes())?;
-                f.sync_all()?;
+                let mut f = chaos::create(&tmp)?;
+                chaos::write_all(&mut f, body.as_bytes())?;
+                chaos::sync_all(&f)?;
             }
             let bak = Self::backup_path(path);
             if path.exists() {
-                fs::rename(path, &bak)?;
+                // Nothing moved yet on failure: the primary and the append
+                // handle are both still valid.
+                chaos::rename(path, &bak)?;
             }
-            fs::rename(&tmp, path)?;
+            if let Err(e) = chaos::rename(&tmp, path) {
+                // The primary was renamed away and the replacement never
+                // landed: the old append handle now points at `.bak`'s
+                // inode. Drop it — the next deposit reopens (rescuing the
+                // `.bak` back into place), instead of writing into a file
+                // nobody will ever read.
+                inner.file = None;
+                return Err(e);
+            }
             if let Some(parent) = path.parent() {
                 if !parent.as_os_str().is_empty() {
                     if let Ok(dir) = File::open(parent) {
@@ -443,14 +502,30 @@ impl WarmStore {
                     }
                 }
             }
-            // Reopen the append handle on the fresh file.
-            inner.file = Some(OpenOptions::new().create(true).append(true).open(path)?);
+            // Reopen the append handle on the fresh file; on failure the
+            // stale handle must not survive (see above).
+            match chaos::open_append(path) {
+                Ok(f) => inner.file = Some(f),
+                Err(e) => {
+                    inner.file = None;
+                    return Err(e);
+                }
+            }
             inner.needs_newline = false;
             inner.file_bytes = body.len() as u64;
             inner.last_compaction_reclaimed = before_bytes.saturating_sub(inner.file_bytes);
         } else {
             inner.last_compaction_reclaimed = 0;
         }
+        inner.last_verify = Some((
+            "compact",
+            VerifyReport {
+                valid: kept.len(),
+                quarantined: 0,
+                skipped_future: 0,
+                bytes: inner.file_bytes,
+            },
+        ));
         inner.records = kept;
         Ok(CompactReport {
             kept: inner.records.len(),
@@ -466,8 +541,7 @@ impl WarmStore {
 
     /// Read-only integrity scan of a store file (no append handle, no heal).
     pub fn verify(path: &Path) -> std::io::Result<VerifyReport> {
-        let mut raw = Vec::new();
-        File::open(path)?.read_to_end(&mut raw)?;
+        let raw = chaos::read_bytes(path)?;
         let mut report = VerifyReport { bytes: raw.len() as u64, ..VerifyReport::default() };
         let text = String::from_utf8_lossy(&raw);
         for line in text.lines() {
@@ -492,7 +566,14 @@ impl WarmStore {
             skipped_future: inner.skipped_future,
             last_compaction_reclaimed: inner.last_compaction_reclaimed,
             file_bytes: inner.file_bytes,
+            bak_rescues: inner.bak_rescues,
+            last_verify: inner.last_verify,
         }
+    }
+
+    /// Snapshot of the live records (chaos-oracle and debugging aid).
+    pub fn records(&self) -> Vec<StoreRecord> {
+        self.lock().records.clone()
     }
 
     pub fn len(&self) -> usize {
@@ -617,6 +698,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 mod tests {
     use super::*;
     use arch::Arch;
+    use std::fs;
 
     fn scratch(tag: &str) -> PathBuf {
         let dir =

@@ -110,6 +110,35 @@ impl ReplayBuffer {
         Ok(())
     }
 
+    /// Persists the buffer to `path` via the chaos-routed file shims, with
+    /// an fsync before returning so a torn write is confined to the tail
+    /// (the valid-prefix property [`ReplayBuffer::load`] relies on).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O (or injected-fault) errors; the file may hold a
+    /// partial prefix on error, which the loader tolerates.
+    pub fn save_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = crate::chaos::create(path)?;
+        let mut buf = Vec::new();
+        self.save(&mut buf)?;
+        crate::chaos::write_all(&mut f, &buf)?;
+        crate::chaos::sync_all(&f)
+    }
+
+    /// Loads entries from `path` (written by [`ReplayBuffer::save_to_path`])
+    /// through the chaos-routed read shim. Returns the number of entries
+    /// appended; malformed lines — including a torn final line — are
+    /// skipped, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O (or injected-fault) errors from the read.
+    pub fn load_from_path(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let raw = crate::chaos::read_bytes(path)?;
+        self.load(raw.as_slice())
+    }
+
     /// Loads entries previously written by [`ReplayBuffer::save`],
     /// appending them to this buffer. Malformed lines are skipped; returns
     /// the number of entries loaded. Versioning: a `#mapex-replay vN` header

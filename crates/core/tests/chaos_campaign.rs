@@ -1,0 +1,104 @@
+//! Deterministic chaos campaigns as regression tests: seeded fault plans
+//! against the real store / serve / fleet stacks, checked by the invariant
+//! oracles (exactly-once accounting, bit-identical results, always-loads
+//! durability, no panic escapes, bounded recovery).
+//!
+//! Each [`mse::Harness`] owns the process-wide chaos plane for its
+//! lifetime, so these tests serialize among themselves no matter how the
+//! test runner schedules them.
+
+use mse::{Bug, Campaign, FaultPlan, Harness, Scenario};
+
+/// The three scenario campaigns below together run 200 seeded plans — the
+/// coverage bar ISSUE 10 sets — split so the cheap store plans dominate
+/// wall-clock the same way `mixed_scenario` weights them.
+const STORE_PLANS: usize = 180;
+const SERVE_PLANS: usize = 12;
+const FLEET_PLANS: usize = 8;
+
+fn run(seed: u64, count: usize, scenario: Scenario, bug: Bug) -> mse::CampaignReport {
+    let campaign = Campaign { seed, count, scenario: Some(scenario), bug };
+    Harness::new(bug).run_campaign(&campaign, &mut |_| {})
+}
+
+fn assert_all_passed(report: &mse::CampaignReport) {
+    assert_eq!(
+        report.passed,
+        report.count,
+        "oracle violations: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| format!("plan {} ({}): {}", f.index, f.plan.to_json(), f.failures.join("; ")))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn store_campaign_passes_and_is_bit_reproducible() {
+    let first = run(11, STORE_PLANS, Scenario::Store, Bug::None);
+    assert_all_passed(&first);
+    // Same seed → same fault events, same verdicts, same digest, bit for
+    // bit — the property that makes a chaos failure a reproducer.
+    let second = run(11, STORE_PLANS, Scenario::Store, Bug::None);
+    assert_eq!(first.digest, second.digest);
+}
+
+#[test]
+fn serve_campaign_passes_all_oracles() {
+    assert_all_passed(&run(12, SERVE_PLANS, Scenario::Serve, Bug::None));
+}
+
+#[test]
+fn fleet_campaign_passes_all_oracles() {
+    assert_all_passed(&run(13, FLEET_PLANS, Scenario::Fleet, Bug::None));
+}
+
+#[test]
+fn planted_accounting_bug_is_caught_and_shrinks_small() {
+    // `ClaimFailedDeposit` acknowledges a failed deposit as durable — the
+    // classic ack-before-fsync accounting bug. The durability oracle must
+    // catch it under fault injection…
+    let campaign = Campaign {
+        seed: 1,
+        count: 40,
+        scenario: Some(Scenario::Store),
+        bug: Bug::ClaimFailedDeposit,
+    };
+    let mut harness = Harness::new(Bug::ClaimFailedDeposit);
+    let report = harness.run_campaign(&campaign, &mut |_| {});
+    assert!(!report.failures.is_empty(), "the planted bug went undetected");
+
+    // …and ddmin must shrink the failing plan to a tiny reproducer.
+    let minimal = harness.shrink(&report.failures[0].plan);
+    assert!(
+        !minimal.events.is_empty() && minimal.events.len() <= 5,
+        "shrunk reproducer has {} events: {}",
+        minimal.events.len(),
+        minimal.to_json()
+    );
+    assert!(!harness.run_plan(&minimal).is_empty(), "shrunk plan no longer fails");
+
+    // The reproducer survives a JSON round trip unchanged.
+    let json = minimal.to_json();
+    let back = FaultPlan::from_json(&json).expect("reproducer JSON parses");
+    assert_eq!(back.to_json(), json);
+}
+
+#[test]
+fn checked_in_reproducer_pins_the_durability_oracle() {
+    // A shrunk reproducer from a real campaign run, checked in as the
+    // regression artifact `mapex chaos --replay` consumes.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/chaos/store-ack-before-fsync.json"
+    );
+    let text = std::fs::read_to_string(path).expect("reproducer file exists");
+    let plan = FaultPlan::from_json(&text).expect("reproducer parses");
+    assert_eq!(plan.scenario, Scenario::Store);
+    assert!(plan.events.len() <= 5);
+    // With the planted bug the oracles flag it; against the fixed store
+    // the very same fault plan passes.
+    assert!(!Harness::new(Bug::ClaimFailedDeposit).run_plan(&plan).is_empty());
+    assert!(Harness::new(Bug::None).run_plan(&plan).is_empty());
+}

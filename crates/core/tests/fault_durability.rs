@@ -1,0 +1,241 @@
+//! Exhaustive-offset fault injection against the durable formats: the
+//! replay buffer, the warm store (deposits and compaction), and the sweep
+//! checkpoint. At every byte offset a write can tear — and at every
+//! syscall a sync, open, or rename can fail — the loaders must come back
+//! with a valid prefix, never a panic, and never lose data that was
+//! acknowledged durable.
+
+use mse::chaos::{self, Action, FaultEvent, FaultPlan, Scenario, Site};
+use mse::{InitStrategy, ReplayBuffer, SweepCheckpoint, WarmStore};
+use mappers::Budget;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mse-faultdur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn plan(events: Vec<FaultEvent>) -> FaultPlan {
+    FaultPlan { seed: 0, scenario: Scenario::Store, events }
+}
+
+fn one(site: Site, nth: u32, action: Action) -> FaultPlan {
+    plan(vec![FaultEvent { site, nth, action }])
+}
+
+fn gemm(name: &str) -> problem::Problem {
+    problem::codec::from_spec(&format!("GEMM;{name};B=2,M=8,K=8,N=8")).expect("spec parses")
+}
+
+fn donor() -> (arch::Arch, mapping::Mapping) {
+    let arch = arch::Arch::accel_b();
+    let m = mapping::Mapping::trivial(&gemm("donor"), &arch);
+    (arch, m)
+}
+
+#[test]
+fn replay_buffer_torn_at_every_offset_loads_a_valid_prefix() {
+    let session = chaos::lock();
+    let dir = scratch("replay");
+    let path = dir.join("replay.buf");
+    let (_, mapping) = donor();
+    let buffer = ReplayBuffer::new();
+    for i in 0..3 {
+        buffer.insert(gemm(&format!("r{i}")), mapping.clone());
+    }
+    let mut image = Vec::new();
+    buffer.save(&mut image).expect("in-memory save");
+    let full_lines: Vec<&[u8]> =
+        image.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+
+    // Tear the single buffer write at every byte offset from the tail.
+    for lost in 1..=image.len() {
+        let armed = session.arm(&one(Site::FsWrite, 0, Action::Short(lost as u32)));
+        let saved = buffer.save_to_path(&path);
+        drop(armed);
+        assert!(saved.is_err(), "a torn write must be reported");
+
+        let fresh = ReplayBuffer::new();
+        let n = fresh.load_from_path(&path).expect("torn file still loads");
+        assert!(n <= 3, "lost {lost}: loaded {n} entries from a torn file");
+        // Valid prefix: every loaded entry except possibly the last must
+        // re-serialize to a line of the original image. (Only the final
+        // kept line can be torn, and a torn spec may still parse — e.g.
+        // `N=16` cut to `N=1` — which this CRC-less v1 format cannot
+        // detect; what it does guarantee is that damage never reaches
+        // entries before the tear.)
+        let mut reloaded = Vec::new();
+        fresh.save(&mut reloaded).expect("in-memory save");
+        let lines: Vec<&[u8]> =
+            reloaded.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        for line in lines.iter().take(lines.len().saturating_sub(1)) {
+            assert!(
+                full_lines.contains(line),
+                "lost {lost}: a pre-tear entry was mutated"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_deposit_torn_at_every_offset_confines_damage_to_one_record() {
+    let session = chaos::lock();
+    let (arch, mapping) = donor();
+    let fp = WarmStore::arch_fingerprint(&arch, None);
+
+    // Measure one record line's on-disk footprint, fault-free.
+    let dir = scratch("deposit-measure");
+    let probe_path = dir.join("probe.store");
+    let probe = WarmStore::open(&probe_path).expect("open probe store");
+    probe.deposit(fp, &gemm("p1"), &mapping, "gamma", 10.0, 1).expect("probe deposit");
+    let line_len = std::fs::metadata(&probe_path).expect("probe metadata").len() as usize;
+    drop(probe);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for lost in 1..=line_len {
+        let dir = scratch(&format!("deposit-{lost}"));
+        let path = dir.join("chaos.store");
+        let store = WarmStore::open(&path).expect("open store");
+        store.deposit(fp, &gemm("p0"), &mapping, "gamma", 10.0, 0).expect("deposit p0");
+
+        let armed = session.arm(&one(Site::FsWrite, 0, Action::Short(lost as u32)));
+        let torn = store.deposit(fp, &gemm("p1"), &mapping, "gamma", 11.0, 1);
+        drop(armed);
+        assert!(torn.is_err(), "lost {lost}: a torn deposit must be reported");
+
+        // The next deposit must go through and stay framed (the torn tail
+        // is confined to its own line, not concatenated onto ours).
+        store.deposit(fp, &gemm("p2"), &mapping, "gamma", 12.0, 2).expect("deposit p2");
+        drop(store);
+
+        let reopened = WarmStore::open(&path).expect("torn store still opens");
+        let names: Vec<String> = reopened
+            .records()
+            .iter()
+            .map(|r| r.problem_spec.clone())
+            .collect();
+        for wanted in ["GEMM;p0;", "GEMM;p2;"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(wanted)),
+                "lost {lost}: acknowledged record {wanted} missing after reopen ({names:?})"
+            );
+        }
+        assert!(reopened.stats().quarantined <= 1, "lost {lost}: torn tail not confined");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn store_compaction_faults_never_lose_acknowledged_records() {
+    let session = chaos::lock();
+    let (arch, mapping) = donor();
+    let fp = WarmStore::arch_fingerprint(&arch, None);
+    let dir = scratch("compact");
+    let path = dir.join("chaos.store");
+    let store = WarmStore::open(&path).expect("open store");
+    for i in 0..6u64 {
+        store.deposit(fp, &gemm(&format!("c{i}")), &mapping, "gamma", 10.0 + i as f64, i)
+            .expect("seed deposit");
+    }
+    let check_all_present = |tag: &str| {
+        let reopened = WarmStore::open(&path).expect("store always opens");
+        let names: Vec<String> =
+            reopened.records().iter().map(|r| r.problem_spec.clone()).collect();
+        for i in 0..6 {
+            assert!(
+                names.iter().any(|n| n.starts_with(&format!("GEMM;c{i};"))),
+                "{tag}: record c{i} lost ({names:?})"
+            );
+        }
+    };
+
+    // Hard-fail every syscall compaction makes, one at a time.
+    for site in [Site::FsOpen, Site::FsWrite, Site::FsSync, Site::FsRename] {
+        for nth in 0..4u32 {
+            let armed = session.arm(&one(site, nth, Action::Fail));
+            let _ = store.compact();
+            drop(armed);
+            check_all_present(&format!("{}@{nth}", site.name()));
+            // Deposits after a failed compaction must still be durable
+            // (the store reopens its append handle if the old inode was
+            // renamed away) — then remove the probe to keep the set fixed.
+            store.deposit(fp, &gemm("probe"), &mapping, "gamma", 99.0, 99)
+                .expect("deposit after failed compaction");
+            store.compact().expect("fault-free compaction heals");
+            check_all_present("post-heal");
+        }
+    }
+
+    // Tear the compaction's image write at a spread of byte offsets.
+    let bytes = std::fs::metadata(&path).expect("metadata").len() as usize;
+    for lost in (1..=bytes).step_by(13) {
+        let armed = session.arm(&one(Site::FsWrite, 0, Action::Short(lost as u32)));
+        let torn = store.compact();
+        drop(armed);
+        assert!(torn.is_err(), "lost {lost}: a torn compaction must be reported");
+        check_all_present(&format!("torn-compact-{lost}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_save_faults_always_leave_a_loadable_version() {
+    let session = chaos::lock();
+    let (_, mapping) = donor();
+    let layer = |n: usize| mse::LayerCheckpoint {
+        name: format!("l{n}"),
+        init_score: 2.0,
+        best_score: 1.0 + n as f64,
+        converge_sample: 10,
+        evaluated: 50,
+        elapsed_secs: 0.0,
+        mapping: Some(mapping::codec::to_spec(&mapping)),
+        latency_cycles: 100.0,
+        energy_uj: 0.5,
+    };
+    let mut v1 = SweepCheckpoint::new(7, InitStrategy::Random, Budget::samples(50));
+    v1.layers.push(layer(0));
+    let mut v2 = v1.clone();
+    v2.layers.push(layer(1));
+    let (v1_json, v2_json) = (v1.canonical().to_json(), v2.canonical().to_json());
+
+    for site in [Site::FsOpen, Site::FsWrite, Site::FsSync, Site::FsRename] {
+        for nth in 0..3u32 {
+            let dir = scratch(&format!("ckpt-{}-{nth}", site.name()));
+            let path = dir.join("sweep.ckpt");
+            v1.save(&path).expect("fault-free save of v1");
+            let armed = session.arm(&one(site, nth, Action::Fail));
+            let _ = v2.save(&path);
+            drop(armed);
+            let loaded = SweepCheckpoint::load(&path)
+                .unwrap_or_else(|e| panic!("{}@{nth}: checkpoint unloadable: {e}", site.name()));
+            let got = loaded.canonical().to_json();
+            assert!(
+                got == v1_json || got == v2_json,
+                "{}@{nth}: loaded checkpoint is neither saved version",
+                site.name()
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // Tear the checkpoint image itself at a spread of offsets: the `.bak`
+    // must rescue the previous version every time.
+    let dir = scratch("ckpt-torn");
+    let path = dir.join("sweep.ckpt");
+    let bytes = v2_json.len();
+    for lost in (1..=bytes).step_by(17) {
+        v1.save(&path).expect("fault-free save of v1");
+        let armed = session.arm(&one(Site::FsWrite, 0, Action::Short(lost as u32)));
+        let _ = v2.save(&path);
+        drop(armed);
+        let loaded = SweepCheckpoint::load(&path)
+            .unwrap_or_else(|e| panic!("torn at {lost}: checkpoint unloadable: {e}"));
+        let got = loaded.canonical().to_json();
+        assert!(got == v1_json || got == v2_json, "torn at {lost}: loaded neither version");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
